@@ -1,0 +1,31 @@
+"""Figure 6 — online running time comparison, ours vs DEANNA.
+
+Regenerates the per-question timing comparison on the distractor-padded
+graph (DBpedia-like candidate lists).  The paper's shape: our total
+response time beats DEANNA's on every common question, by 2–68×, and our
+question understanding stays under 100 ms.  The benchmark times one
+answer of the running example on the padded graph.
+"""
+
+from repro.core import GAnswer
+from repro.experiments.online import figure6_runtime
+
+
+_QUESTION = "Who was married to an actor that played in Philadelphia?"
+
+
+def test_figure6_runtime(benchmark, record_result, setup_padded):
+    system = GAnswer(setup_padded.kg, setup_padded.dictionary)
+    benchmark(lambda: system.answer(_QUESTION))
+
+    result = record_result(figure6_runtime(distractors=25))
+    assert result.rows, "no commonly-answered questions to compare"
+    speedups = [float(row[5].rstrip("x")) for row in result.rows]
+    # Shape: ours wins on the vast majority of questions, with a wide
+    # spread of factors (the paper reports 2–68x).
+    faster = sum(1 for s in speedups if s > 1.0)
+    assert faster / len(speedups) >= 0.8
+    assert max(speedups) / max(min(speedups), 1e-9) > 3  # wide spread
+    # Understanding bound: every question understood within 100 ms.
+    understanding = [row[1] for row in result.rows]
+    assert max(understanding) < 100.0

@@ -1,0 +1,29 @@
+"""Scaling — end-to-end time vs knowledge-graph size.
+
+Beyond the paper's tables: sweep the distractor padding (which grows the
+graph and every candidate list the way full DBpedia does) and check that
+answers stay identical while time grows gently.  The benchmark times the
+running example on the largest padded graph.
+"""
+
+from repro.core import GAnswer
+from repro.experiments.common import default_setup
+from repro.experiments.complexity import kg_size_scaling
+
+
+def test_scaling_kg_size(benchmark, record_result):
+    setup = default_setup(100)
+    system = GAnswer(setup.kg, setup.dictionary)
+    benchmark(
+        lambda: system.answer(
+            "Who was married to an actor that played in Philadelphia?"
+        )
+    )
+    result = record_result(kg_size_scaling())
+    answers = {row[3] for row in result.rows}
+    assert len(answers) == 1  # identical answers at every scale
+    assert "Melanie_Griffith" in answers.pop()
+    times = [row[2] for row in result.rows]
+    # Time grows sub-linearly in the padding: 100x distractors should not
+    # cost 100x the latency.
+    assert times[-1] < times[0] * 100

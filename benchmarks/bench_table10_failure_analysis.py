@@ -1,0 +1,29 @@
+"""Table 10 — failure analysis.
+
+Regenerates the failure-class breakdown.  The paper's shape: aggregation
+is the largest class (35 %), then entity linking (27 %), then relation
+extraction (22 %), then other (16 %).  The benchmark times the failure
+classification over a full evaluation run.
+"""
+
+from repro.experiments.online import run_ganswer, table10_failure_analysis
+
+
+def test_table10_failure_analysis(benchmark, record_result):
+    run = run_ganswer()
+    benchmark(run.failure_counts)
+
+    result = record_result(table10_failure_analysis())
+    counts = {row[0].split(" ")[0]: row[1] for row in result.rows}
+    assert (
+        counts["aggregation"]
+        > counts["entity_linking"]
+        > counts["relation_extraction"]
+        > counts["other"]
+    )
+    ratios = {row[0].split(" ")[0]: float(row[2].rstrip("%")) / 100 for row in result.rows}
+    # Each ratio within ten points of the paper's.
+    paper = {"entity_linking": 0.27, "relation_extraction": 0.22,
+             "aggregation": 0.35, "other": 0.16}
+    for reason, expected in paper.items():
+        assert abs(ratios[reason] - expected) < 0.10

@@ -1,0 +1,27 @@
+"""Table 5 — relation-phrase dataset statistics.
+
+Regenerates the Patty-dataset statistics table at several scales; the
+benchmark times construction of the large (freebase-like) dataset.
+"""
+
+from repro.datasets import SyntheticConfig, build_phrase_dataset, build_synthetic_kg
+from repro.datasets.patty_sim import scale_phrase_dataset
+from repro.datasets.synthetic import entity_pool
+from repro.experiments.offline import table5_phrase_statistics
+
+
+def test_table5_phrase_statistics(benchmark, record_result):
+    synth = build_synthetic_kg(SyntheticConfig(entities=500, triples_per_entity=4))
+    pool = entity_pool(synth)
+
+    benchmark(
+        lambda: scale_phrase_dataset(build_phrase_dataset(), 1200, 6, pool)
+    )
+    result = record_result(table5_phrase_statistics())
+    small = next(row for row in result.rows if "wordnet" in row[0])
+    large = next(row for row in result.rows if "freebase" in row[0])
+    # The shape of Table 5: the freebase-like dataset has several times
+    # more phrases, with single-digit average support in both.
+    assert large[1] > 3 * small[1]
+    assert 1 <= small[3] <= 15
+    assert 1 <= large[3] <= 15

@@ -1,0 +1,26 @@
+"""Table 6 / Exp 1 — paraphrase dictionary contents and precision.
+
+Regenerates the sample-mappings table and the precision-by-path-length
+measurement (the paper: P@3 ≈ 50 % at length 1, dropping sharply with
+length).  The benchmark times one full mining run on the noisy dataset.
+"""
+
+from repro.datasets import build_dbpedia_mini, build_noisy_phrase_dataset
+from repro.experiments.offline import precision_by_length, table6_dictionary_precision
+from repro.paraphrase import ParaphraseMiner
+
+
+def test_table6_dictionary_precision(benchmark, record_result):
+    kg = build_dbpedia_mini()
+    phrases = build_noisy_phrase_dataset()
+    benchmark(
+        lambda: ParaphraseMiner(kg, max_path_length=4, top_k=3).mine(phrases)
+    )
+    record_result(table6_dictionary_precision())
+    precision = precision_by_length()
+    # Exp 1's shape: high precision for single predicates, degrading for
+    # longer paths.
+    assert precision[1] > 0.5
+    longest = max(precision)
+    assert longest > 1
+    assert precision[longest] < precision[1]

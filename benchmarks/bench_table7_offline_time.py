@@ -1,0 +1,33 @@
+"""Table 7 / Exp 2 — offline dictionary-mining time vs θ and scale.
+
+The paper's shape: mining time grows steeply from θ=2 to θ=4 (17 min →
+3.88 h on wordnet-wikipedia; 119 min → 30.33 h on freebase-wikipedia) and
+with the phrase-dataset size.  The benchmark times the θ=2 mining run on
+the small scaled dataset; the driver sweeps the full grid.
+"""
+
+from repro.datasets import SyntheticConfig, build_phrase_dataset, build_synthetic_kg
+from repro.datasets.patty_sim import scale_phrase_dataset
+from repro.datasets.synthetic import entity_pool
+from repro.experiments.offline import table7_offline_time
+from repro.paraphrase import ParaphraseMiner
+
+
+def test_table7_offline_time(benchmark, record_result):
+    synth = build_synthetic_kg(
+        SyntheticConfig(entities=1000, triples_per_entity=4, predicates=30)
+    )
+    dataset = scale_phrase_dataset(
+        build_phrase_dataset(), 100, 5, entity_pool(synth)
+    )
+    benchmark.pedantic(
+        lambda: ParaphraseMiner(synth, max_path_length=2, top_k=3).mine(dataset),
+        rounds=2, iterations=1,
+    )
+    result = record_result(table7_offline_time())
+    for row in result.rows:
+        theta2, theta4 = row[1], row[2]
+        assert theta4 > theta2  # θ=4 is always slower
+    small_theta4 = result.rows[0][2]
+    large_theta4 = result.rows[1][2]
+    assert large_theta4 > small_theta4  # larger dataset is slower

@@ -1,0 +1,45 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation (see DESIGN.md's experiment index).  The regenerated rows are
+printed and also written to ``benchmarks/output/<experiment_id>.txt`` so
+EXPERIMENTS.md can quote them.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Persist and print a driver's ExperimentResult."""
+
+    def _record(result):
+        _OUTPUT_DIR.mkdir(exist_ok=True)
+        rendered = result.render()
+        (_OUTPUT_DIR / f"{result.experiment_id}.txt").write_text(rendered + "\n")
+        print("\n" + rendered)
+        return result
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def setup_plain():
+    from repro.experiments.common import default_setup
+
+    return default_setup(0)
+
+
+@pytest.fixture(scope="session")
+def setup_padded():
+    from repro.experiments.common import default_setup
+
+    return default_setup(25)

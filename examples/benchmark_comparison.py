@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Scenario: the full QALD benchmark, head to head against the baselines.
+
+Regenerates the headline comparison of the paper (Table 8 + Figure 6):
+runs gAnswer, DEANNA, and the template baseline over all 99 questions and
+prints the QALD summary table plus the timing comparison on the common
+correctly-answered questions.
+
+Run:  python examples/benchmark_comparison.py          (fast, plain KG)
+      python examples/benchmark_comparison.py --padded (DBpedia-like scale)
+"""
+
+import sys
+
+from repro.experiments.online import figure6_runtime, table8_end_to_end
+
+
+def main() -> None:
+    print(table8_end_to_end().render())
+    print()
+    padded = "--padded" in sys.argv
+    distractors = 25 if padded else 0
+    print(figure6_runtime(distractors=distractors).render())
+    if not padded:
+        print("\n(re-run with --padded for DBpedia-like candidate-list "
+              "sizes, where the speedup gap matches the paper)")
+
+
+if __name__ == "__main__":
+    main()

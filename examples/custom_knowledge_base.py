@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Scenario: bring your own knowledge base.
+
+Shows the full adoption path for a downstream user: load an RDF dataset
+from N-Triples, provide a relation-phrase dataset for your domain, mine
+the dictionary, and start asking questions.  The domain here is a tiny
+software-projects graph, nothing like the bundled movie/politics data —
+demonstrating the system is not hard-wired to the benchmark.
+
+Run:  python examples/custom_knowledge_base.py
+"""
+
+from repro.core import GAnswer
+from repro.paraphrase import ParaphraseMiner, RelationPhraseDataset
+from repro.rdf import IRI, KnowledgeGraph, TripleStore, parse_ntriples
+
+NTRIPLES = """\
+# A small software-projects knowledge base.
+<kb:Linux> <rdf:type> <kb:OperatingSystem> .
+<kb:Linux> <http://www.w3.org/2000/01/rdf-schema#label> "Linux" .
+<kb:Linus_Torvalds> <http://www.w3.org/2000/01/rdf-schema#label> "Linus Torvalds" .
+<kb:Linux> <kb:createdBy> <kb:Linus_Torvalds> .
+<kb:Git> <kb:createdBy> <kb:Linus_Torvalds> .
+<kb:Git> <http://www.w3.org/2000/01/rdf-schema#label> "Git" .
+<kb:Git> <rdf:type> <kb:VersionControlSystem> .
+<kb:Python> <kb:createdBy> <kb:Guido_van_Rossum> .
+<kb:Python> <http://www.w3.org/2000/01/rdf-schema#label> "Python" .
+<kb:Guido_van_Rossum> <http://www.w3.org/2000/01/rdf-schema#label> "Guido van Rossum" .
+<kb:Guido_van_Rossum> <kb:worksAt> <kb:Dropbox> .
+<kb:Dropbox> <http://www.w3.org/2000/01/rdf-schema#label> "Dropbox" .
+<kb:CPython> <kb:implements> <kb:Python> .
+<kb:CPython> <http://www.w3.org/2000/01/rdf-schema#label> "CPython" .
+"""
+
+# Patch the rdf:type IRI to the real namespace for the type edges above.
+NTRIPLES = NTRIPLES.replace(
+    "<rdf:type>", "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>"
+)
+
+
+def main() -> None:
+    store = TripleStore()
+    store.add_all(parse_ntriples(NTRIPLES))
+    kg = KnowledgeGraph(store)
+    print(f"Loaded {len(store)} triples from N-Triples.\n")
+
+    # Your domain's relation phrases with example pairs from the data.
+    phrases = RelationPhraseDataset()
+    phrases.add("created", [(IRI("kb:Linus_Torvalds"), IRI("kb:Linux"))])
+    phrases.add("was created by", [(IRI("kb:Git"), IRI("kb:Linus_Torvalds"))])
+    phrases.add("works at", [(IRI("kb:Guido_van_Rossum"), IRI("kb:Dropbox"))])
+
+    dictionary = ParaphraseMiner(kg, max_path_length=2, top_k=2).mine(phrases)
+    system = GAnswer(kg, dictionary)
+
+    for question in (
+        "Who created Git?",
+        "Who created Python?",
+        "Where does Guido van Rossum work at?",
+    ):
+        result = system.answer(question)
+        answers = ", ".join(str(a) for a in result.answers) or f"({result.failure})"
+        print(f"Q: {question}")
+        print(f"A: {answers}\n")
+
+
+if __name__ == "__main__":
+    main()

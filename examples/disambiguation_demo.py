@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Scenario: watch graph data driven disambiguation happen.
+
+The paper's central idea: keep ALL candidate meanings of every phrase and
+let the subgraph match decide.  This demo inspects the candidate space for
+the running example — showing "Philadelphia" linked to the city, the film,
+and the 76ers — then shows which candidates neighborhood pruning removes
+and which candidate survives into the match.
+
+Run:  python examples/disambiguation_demo.py
+"""
+
+import copy
+
+from repro.core import GAnswer
+from repro.core.phrase_mapping import PhraseMapper
+from repro.datasets import build_dbpedia_mini, build_phrase_dataset
+from repro.match import neighborhood_prune
+from repro.paraphrase import ParaphraseMiner
+from repro.paraphrase.path_mining import describe_path
+
+
+def name_of(kg, node_id):
+    """Local name for IRIs (distinguishes the label-sharing homonyms)."""
+    from repro.rdf import IRI
+
+    term = kg.term_of(node_id)
+    return term.local_name if isinstance(term, IRI) else str(term)
+
+
+def describe_candidates(kg, vertex, graph):
+    qs_vertex = graph.vertices[vertex.vertex_id]
+    if vertex.wildcard:
+        return f"?{qs_vertex.phrase} → wildcard (matches everything)"
+    rendered = ", ".join(
+        f"{name_of(kg, c.node_id)}{' [class]' if c.is_class else ''}"
+        f" ({c.confidence:.2f})"
+        for c in vertex.candidates
+    )
+    return f"{qs_vertex.phrase!r} → {rendered}"
+
+
+def main() -> None:
+    kg = build_dbpedia_mini()
+    dictionary = ParaphraseMiner(kg, max_path_length=4, top_k=3).mine(
+        build_phrase_dataset()
+    )
+    system = GAnswer(kg, dictionary)
+    question = "Who was married to an actor that played in Philadelphia?"
+    result = system.answer(question)
+    graph = result.semantic_graph
+
+    print(f"Question: {question}\n")
+    print("Semantic query graph Q^S (Definition 2):")
+    for edge in graph.edges:
+        source = graph.vertices[edge.source].phrase
+        target = graph.vertices[edge.target].phrase
+        print(f"  [{source}] --{' '.join(edge.phrase_words)}--> [{target}]")
+    print()
+
+    mapper = PhraseMapper(kg, dictionary)
+    space = mapper.build_candidate_space(graph)
+    print("Candidate lists BEFORE pruning (ambiguity kept, Section 4.2.1):")
+    for vertex in space.vertices.values():
+        print(f"  {describe_candidates(kg, vertex, graph)}")
+    for index, edge in enumerate(space.edges):
+        paths = ", ".join(
+            f"{describe_path(kg, c.path)} ({c.confidence:.2f})"
+            for c in edge.candidates
+        )
+        print(f"  edge {index}: {paths}")
+    print()
+
+    pruned_space = copy.deepcopy(space)
+    removed = neighborhood_prune(kg, pruned_space)
+    print(f"Neighborhood pruning removed {removed} candidate(s) "
+          "(Section 4.2.2 — like u5 in Figure 2):")
+    for vertex in pruned_space.vertices.values():
+        print(f"  {describe_candidates(kg, vertex, graph)}")
+    print()
+
+    print("Top match (disambiguation resolved by the data):")
+    match = result.matches[0]
+    for vertex_id, node in match.bindings:
+        phrase = graph.vertices[vertex_id].phrase
+        print(f"  [{phrase}] → {name_of(kg, node)}")
+    print(f"\nAnswer: {[str(a) for a in result.answers]}")
+
+
+if __name__ == "__main__":
+    main()

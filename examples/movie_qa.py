@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Scenario: an interactive movie/people QA session over the mini KG.
+
+Runs a batch of questions across every shape the system supports —
+factoids, lists, multi-constraint, yes/no, literal answers, demonyms —
+and prints answers with per-stage timings.  Pass your own question as an
+argument to try it live:
+
+    python examples/movie_qa.py "Who developed Minecraft?"
+"""
+
+import sys
+
+from repro.core import GAnswer
+from repro.datasets import build_dbpedia_mini, build_phrase_dataset
+from repro.paraphrase import ParaphraseMiner
+
+QUESTIONS = [
+    "Who is the mayor of Berlin?",
+    "Give me all movies directed by Francis Ford Coppola.",
+    "Which books by Kerouac were published by Viking Press?",
+    "Is Michelle Obama the wife of Barack Obama?",
+    "How tall is Michael Jordan?",
+    "When did Michael Jackson die?",
+    "Give me all Argentine films.",
+    "Which country does the creator of Miffy come from?",
+    "Who was called Scarface?",
+    "What are the nicknames of San Francisco?",
+]
+
+
+def show(result) -> None:
+    if result.boolean is not None:
+        answer_text = "yes" if result.boolean else "no"
+    elif result.answers:
+        answer_text = ", ".join(str(a) for a in result.answers)
+    else:
+        answer_text = f"(no answer: {result.failure})"
+    total_ms = result.total_time * 1000
+    print(f"Q: {result.question}")
+    print(f"A: {answer_text}   [{total_ms:.1f} ms]")
+    print()
+
+
+def main() -> None:
+    kg = build_dbpedia_mini()
+    dictionary = ParaphraseMiner(kg, max_path_length=4, top_k=3).mine(
+        build_phrase_dataset()
+    )
+    system = GAnswer(kg, dictionary)
+
+    questions = sys.argv[1:] if len(sys.argv) > 1 else QUESTIONS
+    for question in questions:
+        show(system.answer(question))
+
+
+if __name__ == "__main__":
+    main()

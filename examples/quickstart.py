@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: answer the paper's running example end to end.
+
+Builds the mini-DBpedia knowledge graph, mines the paraphrase dictionary
+(the offline phase, Algorithm 1), and answers "Who was married to an actor
+that played in Philadelphia?" — the question of Figure 1 — showing every
+artefact the pipeline produces along the way.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import GAnswer
+from repro.datasets import build_dbpedia_mini, build_phrase_dataset
+from repro.paraphrase import ParaphraseMiner
+from repro.paraphrase.path_mining import describe_path
+from repro.paraphrase.miner import normalize_phrase
+
+
+def main() -> None:
+    print("1. Building the mini-DBpedia knowledge graph ...")
+    kg = build_dbpedia_mini()
+    stats = kg.store.statistics()
+    print(f"   {stats['triples']} triples, {stats['nodes']} nodes, "
+          f"{stats['predicates']} predicates\n")
+
+    print("2. Mining the paraphrase dictionary (offline phase, Algorithm 1) ...")
+    phrases = build_phrase_dataset()
+    miner = ParaphraseMiner(kg, max_path_length=4, top_k=3)
+    dictionary = miner.mine(phrases)
+    print(f"   {len(dictionary)} relation phrases mapped; "
+          f"{miner.last_report.located_fraction:.0%} of support pairs "
+          f"located in the graph")
+    for phrase in ("was married to", "played in"):
+        mappings = dictionary.lookup(normalize_phrase(phrase))
+        rendered = ", ".join(
+            f"{describe_path(kg, m.path)} ({m.confidence:.2f})" for m in mappings
+        )
+        print(f"   {phrase!r} → {rendered}")
+    print()
+
+    print("3. Answering the running example ...")
+    system = GAnswer(kg, dictionary)
+    question = "Who was married to an actor that played in Philadelphia?"
+    result = system.answer(question)
+
+    print(f"   Question: {question}")
+    print(f"   Semantic query graph: {result.semantic_graph}")
+    print(f"   Understanding took {result.understanding_time * 1000:.2f} ms "
+          f"(paper bound: < 100 ms)")
+    print(f"   Evaluation took {result.evaluation_time * 1000:.2f} ms")
+    print(f"   Answers: {[str(a) for a in result.answers]}")
+    print()
+    print("   Top match as SPARQL (Algorithm 3's output):")
+    for line in result.sparql_queries[0].splitlines():
+        print(f"     {line}")
+    print()
+    print("   Note how 'Philadelphia' was disambiguated to the film — the "
+          "city and the 76ers never participate in a match.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro — graph data driven natural language question answering over RDF.
+
+A from-scratch reproduction of Zou et al., "Natural Language Question
+Answering over RDF — A Graph Data Driven Approach" (SIGMOD 2014), the system
+later released as *gAnswer*.
+
+The top-level package re-exports the main entry points:
+
+* :class:`repro.core.GAnswer` — the end-to-end question answering pipeline.
+* :class:`repro.rdf.TripleStore` / :class:`repro.rdf.KnowledgeGraph` — the
+  RDF substrate.
+* :func:`repro.datasets.build_dbpedia_mini` — the curated DBpedia-like
+  knowledge base all examples and benchmarks run against.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.rdf import IRI, KnowledgeGraph, Literal, Triple, TripleStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IRI",
+    "KnowledgeGraph",
+    "Literal",
+    "Triple",
+    "TripleStore",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # GAnswer lives behind a lazy import so `import repro` stays cheap and
+    # the rdf substrate can be used without pulling in the NLP stack.
+    if name in ("GAnswer", "Answer"):
+        from repro.core.pipeline import Answer, GAnswer
+
+        return {"GAnswer": GAnswer, "Answer": Answer}[name]
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

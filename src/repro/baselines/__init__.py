@@ -1,0 +1,24 @@
+"""Baseline systems the paper compares against.
+
+* :mod:`repro.baselines.ilp` — an exact 0/1 integer linear program solver
+  (branch and bound), the substrate for DEANNA's joint disambiguation.
+* :mod:`repro.baselines.deanna` — a reimplementation of DEANNA
+  (Yahya et al., EMNLP 2012): build a disambiguation graph over phrase
+  candidates, solve selection as an ILP (NP-hard question understanding),
+  emit ONE disambiguated SPARQL query, and evaluate it.
+* :mod:`repro.baselines.template_qa` — a small template-based system in the
+  style of Unger et al. (WWW 2012), for reference.
+"""
+
+from repro.baselines.ilp import Constraint, IntegerProgram, Sense, Solution
+from repro.baselines.deanna import Deanna
+from repro.baselines.template_qa import TemplateQA
+
+__all__ = [
+    "Constraint",
+    "IntegerProgram",
+    "Sense",
+    "Solution",
+    "Deanna",
+    "TemplateQA",
+]

@@ -1,0 +1,167 @@
+"""Exact 0/1 integer linear programming by branch and bound.
+
+DEANNA models joint disambiguation as an ILP (the paper: "an NP-hard
+problem").  This solver is deliberately exact and general: maximize
+``c·x`` over binary ``x`` subject to linear constraints.  The bound is the
+classic optimistic completion (add every remaining positive objective
+coefficient); infeasibility pruning uses per-constraint achievable
+activity ranges.  Worst case exponential — which is the point: the
+baseline's question-understanding cost comes from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.exceptions import ILPError, InfeasibleError
+
+
+class Sense(Enum):
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass(frozen=True, slots=True)
+class Constraint:
+    """A linear constraint Σ coeff·x  (sense)  bound."""
+
+    coefficients: tuple[tuple[int, float], ...]  # (variable index, coeff)
+    sense: Sense
+    bound: float
+
+
+@dataclass(slots=True)
+class Solution:
+    """An optimal assignment and its objective value."""
+
+    assignment: dict[str, int]
+    objective: float
+    nodes_explored: int
+
+
+class IntegerProgram:
+    """A 0/1 maximization problem built incrementally."""
+
+    def __init__(self) -> None:
+        self._names: list[str] = []
+        self._objective: list[float] = []
+        self._constraints: list[Constraint] = []
+        self._index: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add_variable(self, name: str, objective: float) -> int:
+        """Add a binary variable; returns its index."""
+        if name in self._index:
+            raise ILPError(f"duplicate variable name: {name!r}")
+        index = len(self._names)
+        self._names.append(name)
+        self._objective.append(objective)
+        self._index[name] = index
+        return index
+
+    def variable_count(self) -> int:
+        return len(self._names)
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ILPError(f"unknown variable: {name!r}") from None
+
+    def add_constraint(
+        self, coefficients: dict[str, float], sense: Sense, bound: float
+    ) -> None:
+        """Add Σ coeff·x (sense) bound, with variables given by name."""
+        if not coefficients:
+            raise ILPError("constraint needs at least one variable")
+        entries = tuple(
+            (self.index_of(name), coeff) for name, coeff in coefficients.items()
+        )
+        self._constraints.append(Constraint(entries, sense, bound))
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+
+    def solve(self) -> Solution:
+        """Find an optimal assignment (raises :class:`InfeasibleError`)."""
+        n = len(self._names)
+        # Branch on high-impact variables first.
+        order = sorted(range(n), key=lambda i: -abs(self._objective[i]))
+        # Suffix sums of positive objective mass for the optimistic bound.
+        positive_suffix = [0.0] * (n + 1)
+        for position in range(n - 1, -1, -1):
+            gain = max(self._objective[order[position]], 0.0)
+            positive_suffix[position] = positive_suffix[position + 1] + gain
+
+        best_value = float("-inf")
+        best_assignment: list[int] | None = None
+        assignment = [0] * n
+        nodes = 0
+
+        # Precompute per-constraint min/max contribution of each variable.
+        def search(position: int, value: float) -> None:
+            nonlocal best_value, best_assignment, nodes
+            nodes += 1
+            if value + positive_suffix[position] <= best_value:
+                return  # cannot beat the incumbent
+            if not self._partially_feasible(assignment, order, position):
+                return
+            if position == n:
+                if value > best_value:
+                    best_value = value
+                    best_assignment = assignment.copy()
+                return
+            variable = order[position]
+            # Try the objective-improving branch first.
+            branches = (1, 0) if self._objective[variable] > 0 else (0, 1)
+            for choice in branches:
+                assignment[variable] = choice
+                search(position + 1, value + choice * self._objective[variable])
+            assignment[variable] = 0
+
+        search(0, 0.0)
+        if best_assignment is None:
+            raise InfeasibleError("no feasible 0/1 assignment")
+        return Solution(
+            assignment={
+                name: best_assignment[index] for name, index in self._index.items()
+            },
+            objective=best_value,
+            nodes_explored=nodes,
+        )
+
+    def _partially_feasible(
+        self, assignment: list[int], order: list[int], position: int
+    ) -> bool:
+        """Can the fixed prefix still be completed feasibly?
+
+        For each constraint, compute the activity range achievable by the
+        unfixed variables and check the bound remains reachable.
+        """
+        fixed = set(order[:position])
+        for constraint in self._constraints:
+            lo = hi = 0.0
+            for variable, coeff in constraint.coefficients:
+                if variable in fixed:
+                    contribution = coeff * assignment[variable]
+                    lo += contribution
+                    hi += contribution
+                elif coeff > 0:
+                    hi += coeff
+                else:
+                    lo += coeff
+            if constraint.sense is Sense.LE and lo > constraint.bound + 1e-9:
+                return False
+            if constraint.sense is Sense.GE and hi < constraint.bound - 1e-9:
+                return False
+            if constraint.sense is Sense.EQ and not (
+                lo <= constraint.bound + 1e-9 and hi >= constraint.bound - 1e-9
+            ):
+                return False
+        return True

@@ -1,0 +1,83 @@
+"""Save/load a complete QA setup (knowledge graph + mined dictionary).
+
+The offline phase is the expensive part of deployment; a *bundle* persists
+its outputs so a service can start without re-mining:
+
+    from repro.bundle import save_bundle, load_bundle
+
+    save_bundle("deploy/", kg, dictionary)
+    kg, dictionary = load_bundle("deploy/")
+    system = GAnswer(kg, dictionary)
+
+A bundle directory holds ``graph.nt`` (N-Triples) and ``dictionary.json``
+plus a small manifest for sanity checks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import ReproError
+from repro.paraphrase.dictionary import ParaphraseDictionary
+from repro.rdf.graph import KnowledgeGraph
+from repro.rdf.io import load_knowledge_graph, save_store
+
+_MANIFEST_NAME = "manifest.json"
+_GRAPH_NAME = "graph.nt"
+_DICTIONARY_NAME = "dictionary.json"
+_FORMAT_VERSION = 1
+
+
+def save_bundle(
+    directory: str | Path,
+    kg: KnowledgeGraph,
+    dictionary: ParaphraseDictionary,
+) -> Path:
+    """Write the setup into ``directory`` (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    triple_count = save_store(kg.store, directory / _GRAPH_NAME)
+    # Portable form: the graph file re-assigns term ids on load, so the
+    # dictionary must name predicates by IRI, not by id.
+    (directory / _DICTIONARY_NAME).write_text(
+        dictionary.to_portable_json(kg), encoding="utf-8"
+    )
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "triples": triple_count,
+        "phrases": len(dictionary),
+    }
+    (directory / _MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=1) + "\n", encoding="utf-8"
+    )
+    return directory
+
+
+def load_bundle(directory: str | Path) -> tuple[KnowledgeGraph, ParaphraseDictionary]:
+    """Load a setup saved by :func:`save_bundle`.
+
+    The dictionary's predicate-path ids refer to the graph's term
+    dictionary, which is why the two are bundled: loading them separately
+    from mismatched sources would silently mis-map every path.  The
+    manifest's triple count guards against a truncated graph file.
+    """
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST_NAME
+    if not manifest_path.exists():
+        raise ReproError(f"not a bundle directory (no manifest): {directory}")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported bundle format {manifest.get('format_version')!r}"
+        )
+    kg = load_knowledge_graph(directory / _GRAPH_NAME)
+    if len(kg.store) != manifest["triples"]:
+        raise ReproError(
+            f"bundle graph has {len(kg.store)} triples, manifest says "
+            f"{manifest['triples']} — truncated or modified file?"
+        )
+    dictionary = ParaphraseDictionary.from_portable_json(
+        (directory / _DICTIONARY_NAME).read_text(encoding="utf-8"), kg
+    )
+    return kg, dictionary

@@ -1,0 +1,181 @@
+"""Command-line interface: ask questions, run SPARQL, evaluate benchmarks.
+
+Usage::
+
+    python -m repro ask "Who is the mayor of Berlin?"
+    python -m repro shell                 # interactive question loop
+    python -m repro sparql "SELECT ?x WHERE { ?x <ont:mayor> ?y }"
+    python -m repro eval                  # the QALD benchmark summary
+    python -m repro dictionary            # mined paraphrase dictionary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import GAnswer
+from repro.experiments.common import default_setup
+
+
+def _build_system(args) -> GAnswer:
+    setup = default_setup(args.distractors)
+    return GAnswer(
+        setup.kg,
+        setup.dictionary,
+        k=args.k,
+        enable_aggregation=args.aggregation,
+    )
+
+
+def _print_answer(result) -> None:
+    if result.boolean is not None:
+        print("yes" if result.boolean else "no")
+    elif result.answers:
+        for term in result.answers:
+            print(str(term))
+    else:
+        print(f"(no answer: {result.failure})", file=sys.stderr)
+    if result.semantic_graph is not None:
+        print(
+            f"-- {result.understanding_time * 1000:.1f} ms understanding, "
+            f"{result.evaluation_time * 1000:.1f} ms evaluation",
+            file=sys.stderr,
+        )
+
+
+def cmd_ask(args) -> int:
+    system = _build_system(args)
+    result = system.answer(args.question)
+    if args.explain:
+        from repro.core.explain import explain
+
+        setup = default_setup(args.distractors)
+        print(explain(setup.kg, result))
+        return 0 if result.processed else 1
+    _print_answer(result)
+    if args.sparql and result.sparql_queries:
+        print("\n-- top match as SPARQL:", file=sys.stderr)
+        print(result.sparql_queries[0])
+    return 0 if result.processed else 1
+
+
+def cmd_shell(args) -> int:
+    system = _build_system(args)
+    print("gAnswer shell over the mini-DBpedia KG.  Empty line to exit.")
+    while True:
+        try:
+            question = input("? ").strip()
+        except (EOFError, KeyboardInterrupt):
+            break
+        if not question:
+            break
+        _print_answer(system.answer(question))
+    return 0
+
+
+def cmd_sparql(args) -> int:
+    from repro.sparql import evaluate, parse_query
+
+    setup = default_setup(args.distractors)
+    result = evaluate(setup.kg.store, parse_query(args.query))
+    if isinstance(result, bool):
+        print("yes" if result else "no")
+    elif isinstance(result, int):
+        print(result)
+    else:
+        for row in result:
+            print("  ".join(f"{var}={term}" for var, term in sorted(
+                row.items(), key=lambda kv: kv[0].name
+            )))
+    return 0
+
+
+def cmd_eval(args) -> int:
+    from repro.datasets import qald_questions
+    from repro.eval import evaluate_system, format_table
+
+    system = _build_system(args)
+    run = evaluate_system(system, qald_questions(), "gAnswer (repro)")
+    summary = run.summary
+    print(
+        format_table(
+            ["system", "processed", "right", "partially", "recall", "precision", "F-1"],
+            [[
+                run.system_name, summary.processed, summary.right,
+                summary.partial, summary.recall, summary.precision, summary.f1,
+            ]],
+            title="QALD benchmark (99 questions)",
+        )
+    )
+    if args.failures:
+        print("\nfailure classes:")
+        for reason, count in sorted(run.failure_counts().items()):
+            print(f"  {reason}: {count}")
+    return 0
+
+
+def cmd_dictionary(args) -> int:
+    from repro.paraphrase.path_mining import describe_path
+
+    setup = default_setup(args.distractors)
+    for phrase in sorted(setup.dictionary.phrases()):
+        mappings = setup.dictionary.lookup(phrase)
+        if not mappings:
+            continue
+        rendered = ", ".join(
+            f"{describe_path(setup.kg, m.path)} ({m.confidence:.2f})"
+            for m in mappings
+        )
+        print(f"{' '.join(phrase):30s} → {rendered}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Graph data driven natural language QA over RDF "
+        "(gAnswer, SIGMOD 2014 reproduction)",
+    )
+    parser.add_argument("--k", type=int, default=10, help="top-k matches (default 10)")
+    parser.add_argument(
+        "--aggregation", action="store_true",
+        help="enable the superlative post-processing extension",
+    )
+    parser.add_argument(
+        "--distractors", type=int, default=0,
+        help="label clones per entity (DBpedia-scale ambiguity)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    ask = commands.add_parser("ask", help="answer one question")
+    ask.add_argument("question")
+    ask.add_argument("--sparql", action="store_true", help="print the top match's SPARQL")
+    ask.add_argument(
+        "--explain", action="store_true", help="print the full derivation trace"
+    )
+    ask.set_defaults(func=cmd_ask)
+
+    shell = commands.add_parser("shell", help="interactive question loop")
+    shell.set_defaults(func=cmd_shell)
+
+    sparql = commands.add_parser("sparql", help="run a SPARQL query on the KG")
+    sparql.add_argument("query")
+    sparql.set_defaults(func=cmd_sparql)
+
+    evaluate = commands.add_parser("eval", help="run the QALD benchmark")
+    evaluate.add_argument("--failures", action="store_true", help="show failure classes")
+    evaluate.set_defaults(func=cmd_eval)
+
+    dictionary = commands.add_parser("dictionary", help="show the mined dictionary")
+    dictionary.set_defaults(func=cmd_dictionary)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

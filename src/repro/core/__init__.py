@@ -1,0 +1,58 @@
+"""The paper's contribution: graph data driven RDF question answering.
+
+Online pipeline (Section 4):
+
+1. **Question understanding** — dependency-parse the question, find
+   relation-phrase embeddings (Algorithm 2), attach arguments
+   (Section 4.1.2's relations + heuristic Rules 1–4), resolve coreference,
+   and assemble the semantic query graph Q^S (Definitions 1–2).
+2. **Query evaluation** — map vertices to entity/class candidates and edges
+   to predicate-path candidates *keeping all ambiguity* (Section 4.2.1),
+   then find the top-k subgraph matches with a TA-style threshold algorithm
+   over confidence-sorted candidate lists (Algorithm 3, Definition 6).
+   Disambiguation happens here: only candidates that participate in matches
+   survive.
+
+The :class:`GAnswer` facade runs the whole pipeline::
+
+    from repro import GAnswer
+
+    system = GAnswer(kg, dictionary)
+    result = system.answer("Who was married to an actor that played in Philadelphia?")
+    result.answers          # [IRI('ex:Melanie_Griffith')]
+"""
+
+from repro.core.semantic_graph import (
+    QSEdge,
+    QSVertex,
+    SemanticQueryGraph,
+    SemanticRelation,
+)
+from repro.core.relation_extraction import Embedding, RelationExtractor
+from repro.core.argument_finding import ArgumentFinder
+from repro.core.coreference import resolve_coreference
+from repro.core.graph_builder import build_semantic_query_graph
+from repro.core.phrase_mapping import PhraseMapper
+from repro.core.top_k import TopKSearch, TopKResult
+from repro.core.sparql_generation import match_to_sparql
+from repro.core.explain import explain
+from repro.core.pipeline import Answer, GAnswer
+
+__all__ = [
+    "QSEdge",
+    "QSVertex",
+    "SemanticQueryGraph",
+    "SemanticRelation",
+    "Embedding",
+    "RelationExtractor",
+    "ArgumentFinder",
+    "resolve_coreference",
+    "build_semantic_query_graph",
+    "PhraseMapper",
+    "TopKSearch",
+    "TopKResult",
+    "match_to_sparql",
+    "explain",
+    "Answer",
+    "GAnswer",
+]

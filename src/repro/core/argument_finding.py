@@ -1,0 +1,218 @@
+"""Finding the arguments of a relation-phrase embedding (Section 4.1.2).
+
+arg1 is recognised through the *subject-like* relations (subj, nsubj,
+nsubjpass, csubj, csubjpass, xsubj, poss) between an embedding node and a
+child outside the embedding; arg2 through the *object-like* relations
+(obj, pobj, dobj, iobj).  When several candidates exist, the one nearest
+the relation phrase wins.
+
+When an argument is still empty, four heuristic rules raise recall (the
+paper's Exp 4 / Table 9 measures their effect — enabled by
+``use_heuristics``):
+
+* **Rule 1** — extend the embedding with adjacent *light words*
+  (prepositions, auxiliaries) and look again at the new nodes' children.
+* **Rule 2** — if the embedding root hangs off a nominal parent through a
+  subject/object-like or modifier relation (rcmod, partmod, appos), the
+  parent supplies arg1: "movies *directed by* Coppola" → arg1 = movies.
+* **Rule 3** — if the embedding root's parent has a subject-like child of
+  its own, that child supplies arg1: "born in Vienna *and died in*
+  Berlin" → the coordinated head's subject "that" becomes arg1 of "die in".
+* **Rule 4** — fall back to the nearest wh-word, or the first noun phrase,
+  for whichever argument is still empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.relation_extraction import Embedding
+from repro.nlp import lexicon
+from repro.nlp.dependency import (
+    OBJECT_RELATIONS,
+    SUBJECT_RELATIONS,
+    DependencyNode,
+    DependencyTree,
+)
+
+_MODIFIER_RELATIONS = frozenset({"rcmod", "partmod", "appos", "vmod"})
+
+
+@dataclass(frozen=True, slots=True)
+class ArgumentResult:
+    """The two arguments of one embedding, with the rules that fired."""
+
+    arg1: DependencyNode
+    arg2: DependencyNode
+    rules_used: frozenset[str]
+
+
+class ArgumentFinder:
+    """Attaches arg1/arg2 to relation-phrase embeddings."""
+
+    def __init__(self, use_heuristics: bool = True):
+        self.use_heuristics = use_heuristics
+
+    # ------------------------------------------------------------------ #
+
+    def find_arguments(
+        self, tree: DependencyTree, embedding: Embedding
+    ) -> ArgumentResult | None:
+        """Both arguments of the embedding, or None if either stays empty
+        (the paper then discards the relation phrase)."""
+        inside = set(embedding.nodes)
+        rules_used: set[str] = set()
+
+        arg1 = self._argument_by_relations(embedding, inside, SUBJECT_RELATIONS)
+        arg2 = self._argument_by_relations(embedding, inside, OBJECT_RELATIONS)
+
+        if self.use_heuristics:
+            if arg1 is None or arg2 is None:
+                extended1, extended2 = self._rule1(embedding, inside)
+                if arg1 is None and extended1 is not None:
+                    arg1 = extended1
+                    rules_used.add("rule1")
+                if arg2 is None and extended2 is not None:
+                    arg2 = extended2
+                    rules_used.add("rule1")
+            if arg1 is None:
+                arg1 = self._rule2(embedding)
+                if arg1 is not None:
+                    rules_used.add("rule2")
+            if arg1 is None:
+                arg1 = self._rule3(embedding, inside)
+                if arg1 is not None:
+                    rules_used.add("rule3")
+            if arg1 is None:
+                arg1 = self._rule4(tree, embedding, exclude=(arg2,))
+                if arg1 is not None:
+                    rules_used.add("rule4")
+            if arg2 is None:
+                # Rule 2's mirror for arg2: a nominal embedding root in an
+                # object/subject position doubles as the second argument —
+                # "Give me [Margaret Thatcher's] CHILDREN".
+                root = embedding.root
+                if (
+                    root.is_nominal()
+                    and root.deprel in SUBJECT_RELATIONS | OBJECT_RELATIONS
+                    and root is not arg1
+                ):
+                    arg2 = root
+                    rules_used.add("rule2")
+            if arg2 is None:
+                arg2 = self._rule4(tree, embedding, exclude=(arg1,))
+                if arg2 is not None:
+                    rules_used.add("rule4")
+
+        if arg1 is None or arg2 is None or arg1 is arg2:
+            return None
+        return ArgumentResult(arg1, arg2, frozenset(rules_used))
+
+    # ------------------------------------------------------------------ #
+    # Base recognition
+    # ------------------------------------------------------------------ #
+
+    def _argument_by_relations(
+        self,
+        embedding: Embedding,
+        inside: set[DependencyNode],
+        relations: frozenset[str],
+    ) -> DependencyNode | None:
+        candidates = [
+            child
+            for node in embedding.nodes
+            for child in node.children
+            if child not in inside and child.deprel in relations
+        ]
+        if not candidates:
+            return None
+        root_index = embedding.root.index
+        return min(candidates, key=lambda n: (abs(n.index - root_index), n.index))
+
+    # ------------------------------------------------------------------ #
+    # Heuristic rules
+    # ------------------------------------------------------------------ #
+
+    def _rule1(
+        self, embedding: Embedding, inside: set[DependencyNode]
+    ) -> tuple[DependencyNode | None, DependencyNode | None]:
+        """Extend with light-word children, then re-run base recognition."""
+        light_children = [
+            child
+            for node in embedding.nodes
+            for child in node.children
+            if child not in inside and child.lower in lexicon.LIGHT_WORDS
+        ]
+        if not light_children:
+            return None, None
+        extended = Embedding(
+            embedding.phrase_words,
+            embedding.root,
+            embedding.nodes + tuple(light_children),
+        )
+        extended_inside = inside | set(light_children)
+        arg1 = self._argument_by_relations(extended, extended_inside, SUBJECT_RELATIONS)
+        arg2 = self._argument_by_relations(extended, extended_inside, OBJECT_RELATIONS)
+        return arg1, arg2
+
+    @staticmethod
+    def _rule2(embedding: Embedding) -> DependencyNode | None:
+        """Rule 2, two forms:
+
+        * paper-literal — the embedding root itself is connected to its
+          parent by a subject/object-like relation, so the root doubles as
+          the missing argument: in "the *creator of* Miffy come from",
+          "creator" is both relation-phrase word and arg1;
+        * modifier form — a verbal embedding modifying a nominal
+          (rcmod/partmod/appos) takes that nominal as arg1: "movies
+          *directed by* Coppola" → movies.
+        """
+        root = embedding.root
+        if root.head is None:
+            return None
+        if root.deprel in SUBJECT_RELATIONS | OBJECT_RELATIONS and root.is_nominal():
+            return root
+        if root.deprel in _MODIFIER_RELATIONS and root.head.is_nominal():
+            return root.head
+        return None
+
+    @staticmethod
+    def _rule3(embedding: Embedding, inside: set[DependencyNode]) -> DependencyNode | None:
+        """The root's parent's own subject-like child supplies arg1."""
+        parent = embedding.root.head
+        if parent is None:
+            return None
+        for child in parent.children:
+            if child not in inside and child.deprel in SUBJECT_RELATIONS:
+                return child
+        return None
+
+    @staticmethod
+    def _rule4(
+        tree: DependencyTree,
+        embedding: Embedding,
+        exclude: tuple[DependencyNode | None, ...],
+    ) -> DependencyNode | None:
+        """Nearest wh-word, else the first noun phrase outside the
+        embedding, skipping nodes already used for the other argument."""
+        inside = set(embedding.nodes)
+        excluded = {node for node in exclude if node is not None}
+        root_index = embedding.root.index
+        wh_nodes = [
+            node
+            for node in tree.nodes
+            if node.is_wh() and node not in inside and node not in excluded
+        ]
+        if wh_nodes:
+            return min(wh_nodes, key=lambda n: (abs(n.index - root_index), n.index))
+        nominals = [
+            node
+            for node in tree.nodes
+            if node.pos.startswith("NN")
+            and node not in inside
+            and node not in excluded
+            and node.deprel not in ("nn", "amod")
+        ]
+        if nominals:
+            return min(nominals, key=lambda n: n.index)
+        return None

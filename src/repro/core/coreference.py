@@ -1,0 +1,49 @@
+"""Coreference resolution for semantic-relation arguments (Section 4.1.3).
+
+In "an actor *that* played in Philadelphia", the arguments "actor" and
+"that" refer to the same thing, so the two semantic relations must share a
+vertex in Q^S.  The cases that occur in questions are relative pronouns and
+reduced relatives; both resolve to the nominal the modifying clause hangs
+off:
+
+* a relative pronoun (that/who/which/whom) inside an ``rcmod``/``partmod``
+  clause → the clause's governor noun;
+* an argument found by Rule 3 under a coordinated verb resolves through the
+  conjunction chain first.
+"""
+
+from __future__ import annotations
+
+from repro.nlp.dependency import DependencyNode
+
+_RELATIVE_PRONOUNS = {"that", "who", "whom", "which"}
+_CLAUSE_RELATIONS = {"rcmod", "partmod", "vmod"}
+
+
+def resolve_coreference(node: DependencyNode) -> DependencyNode:
+    """The canonical node an argument refers to (itself when no coref).
+
+    Walks from a relative pronoun up through its clause's verb (following
+    ``conj`` chains) to the nominal the clause modifies.  A wh determiner
+    ("*which* books") resolves directly to the noun it modifies.
+    """
+    if node.pos == "WDT" and node.deprel == "det" and node.head is not None:
+        return node.head
+    if node.lower not in _RELATIVE_PRONOUNS:
+        return node
+    # Climb to the clause verb this pronoun is an argument of.
+    clause_verb = node.head
+    if clause_verb is None:
+        return node
+    # Follow coordination back to the first conjunct.
+    seen = {id(clause_verb)}
+    while clause_verb.deprel == "conj" and clause_verb.head is not None:
+        clause_verb = clause_verb.head
+        if id(clause_verb) in seen:
+            return node
+        seen.add(id(clause_verb))
+    if clause_verb.deprel in _CLAUSE_RELATIONS and clause_verb.head is not None:
+        governor = clause_verb.head
+        if governor.is_nominal():
+            return governor
+    return node

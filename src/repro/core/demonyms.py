@@ -1,0 +1,56 @@
+"""Demonym handling: "Argentine films" → ⟨films, country, Argentina⟩.
+
+QALD questions like "Give me all Argentine films." carry their only
+relation inside a demonym adjective — there is no relation phrase for
+Algorithm 2 to embed.  This question-understanding extension rewrites a
+demonym modifier into an explicit semantic relation with the pseudo
+relation phrase ``("demonym",)`` and a synthetic argument node naming the
+country.  The paraphrase dictionary maps the pseudo-phrase to the KB's
+country/nationality predicates (the Patty simulator provides support pairs
+for it like any other phrase).
+"""
+
+from __future__ import annotations
+
+from repro.core.semantic_graph import SemanticRelation
+from repro.nlp.dependency import DependencyNode, DependencyTree
+from repro.nlp.tokenizer import Token
+
+DEMONYM_PHRASE = ("demonym",)
+
+#: demonym adjective → country surface name (shared with the tagger).
+from repro.nlp.lexicon import DEMONYMS  # noqa: E402  (re-export)
+
+#: index offset for synthetic nodes, far beyond any real token index.
+_SYNTHETIC_BASE = 10_000
+
+
+def extract_demonym_relations(
+    tree: DependencyTree, used_indexes: frozenset[int] = frozenset()
+) -> list[SemanticRelation]:
+    """Demonym-based semantic relations not already covered by embeddings.
+
+    ``used_indexes`` are token indexes consumed by regular relation-phrase
+    embeddings; a demonym inside one is left alone.
+    """
+    relations: list[SemanticRelation] = []
+    for offset, node in enumerate(tree.nodes):
+        demonym = DEMONYMS.get(node.lower)
+        if demonym is None or node.index in used_indexes:
+            continue
+        if node.deprel not in ("amod", "nn") or node.head is None:
+            continue
+        head = node.head
+        if not head.pos.startswith("NN") or head.pos.startswith("NNP"):
+            continue  # "Dutch queen Juliana" modifies a name, not a class
+        country_token = Token(
+            text=demonym,
+            index=_SYNTHETIC_BASE + offset,
+            pos="NNP",
+            lemma=demonym,
+        )
+        country_node = DependencyNode(country_token)
+        relations.append(
+            SemanticRelation(DEMONYM_PHRASE, head, country_node, (node,))
+        )
+    return relations

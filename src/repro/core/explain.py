@@ -1,0 +1,96 @@
+"""Human-readable derivations: why did the system answer what it answered?
+
+A production QA endpoint must be able to justify its output.  The
+pipeline already keeps everything needed — the semantic query graph, the
+matches with their chosen candidates and paths, the emitted SPARQL —
+and this module renders it as a derivation trace:
+
+    Question: Who was married to an actor that played in Philadelphia?
+    Semantic query graph (Definition 2):
+      [who] --"be marry to"--> [actor]
+      ...
+    Top match (score -0.11):
+      [who] → Melanie_Griffith (wildcard)
+      [actor] → Antonio_Banderas (class Actor, δ=0.93)
+      ...
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import Answer
+from repro.rdf.graph import KnowledgeGraph, step_is_forward, step_predicate
+from repro.rdf.terms import IRI
+
+
+def _name(kg: KnowledgeGraph, node_id: int) -> str:
+    term = kg.term_of(node_id)
+    return term.local_name if isinstance(term, IRI) else f'"{term}"'
+
+
+def _render_path(kg: KnowledgeGraph, path: tuple[int, ...]) -> str:
+    parts = []
+    for step in path:
+        name = kg.iri_of(step_predicate(step)).local_name
+        parts.append(name if step_is_forward(step) else f"{name}⁻¹")
+    return "·".join(parts)
+
+
+def explain(kg: KnowledgeGraph, answer: Answer, max_matches: int = 3) -> str:
+    """A derivation trace for an Answer (works for failures too)."""
+    lines = [f"Question: {answer.question}"]
+    if answer.analysis is not None:
+        lines.append(
+            f"Classified as: {answer.analysis.question_type.value}"
+            + (
+                f" ({answer.analysis.aggregation.value} aggregation)"
+                if answer.analysis.is_aggregation
+                else ""
+            )
+        )
+
+    graph = answer.semantic_graph
+    if graph is None:
+        lines.append(f"No semantic query graph — failure: {answer.failure}")
+        return "\n".join(lines)
+
+    lines.append("Semantic query graph (Definition 2):")
+    for edge in graph.edges:
+        source = graph.vertices[edge.source].phrase
+        target = graph.vertices[edge.target].phrase
+        lines.append(f'  [{source}] --"{" ".join(edge.phrase_words)}"--> [{target}]')
+    if answer.rules_used:
+        lines.append(f"Argument heuristics used: {', '.join(sorted(answer.rules_used))}")
+
+    if not answer.matches:
+        lines.append(f"No subgraph match — failure: {answer.failure}")
+        return "\n".join(lines)
+
+    for rank, match in enumerate(answer.matches[:max_matches], start=1):
+        lines.append(f"Match #{rank} (score {match.score:.3f}):")
+        confidences = dict(match.vertex_confidences)
+        for vertex_id, node in match.bindings:
+            phrase = graph.vertices[vertex_id].phrase
+            delta = confidences.get(vertex_id, 0.0)
+            lines.append(f"  [{phrase}] → {_name(kg, node)}  (δ={delta:.2f})")
+        for index, path, confidence in match.edge_assignments:
+            edge = graph.edges[index]
+            rel = " ".join(edge.phrase_words)
+            lines.append(
+                f'  "{rel}" → {_render_path(kg, path)}  (δ={confidence:.2f})'
+            )
+    if len(answer.matches) > max_matches:
+        lines.append(f"  ... and {len(answer.matches) - max_matches} more match(es)")
+
+    if answer.boolean is not None:
+        lines.append(f"Answer: {'yes' if answer.boolean else 'no'}")
+    elif answer.answers:
+        rendered = ", ".join(
+            term.local_name if isinstance(term, IRI) else str(term)
+            for term in answer.answers
+        )
+        lines.append(f"Answer: {rendered}")
+    if answer.sparql_queries:
+        lines.append("Equivalent SPARQL (top match):")
+        for line in answer.sparql_queries[0].splitlines():
+            lines.append(f"  {line}")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Assembling the semantic query graph from semantic relations
+(Section 4.1.3).
+
+Each semantic relation becomes one edge; arguments resolve through
+coreference to canonical dependency nodes, and relations sharing a
+canonical argument share the corresponding vertex.
+"""
+
+from __future__ import annotations
+
+from repro.core.coreference import resolve_coreference
+from repro.core.semantic_graph import SemanticQueryGraph, SemanticRelation
+from repro.nlp.dependency import DependencyNode
+
+
+def _vertex_phrase(node: DependencyNode) -> str:
+    """The surface phrase the entity linker will see for this argument.
+
+    Demonym modifiers are dropped — they were lifted into their own
+    relation ("Argentine films" links as "films", with a separate
+    country edge).
+    """
+    if node.is_wh() and not node.pos.startswith("NN"):
+        return node.lower
+    from repro.core.demonyms import DEMONYMS
+
+    words = [
+        word for word in node.phrase().split() if word.lower() not in DEMONYMS
+    ]
+    return " ".join(words) if words else node.phrase()
+
+
+def _is_wh_vertex(node: DependencyNode) -> bool:
+    """Wh-words stand for the unknown and match everything (Section 2.2).
+
+    A nominal with a wh determiner ("which movies") is *not* a wh vertex:
+    its noun constrains the answer and is linked as a class instead.
+    """
+    return node.pos in ("WP", "WP$", "WDT", "WRB")
+
+
+def build_semantic_query_graph(
+    relations: list[SemanticRelation],
+) -> SemanticQueryGraph:
+    """Build Q^S: one edge per relation, vertices merged via coreference."""
+    graph = SemanticQueryGraph()
+    for relation in relations:
+        arg1 = resolve_coreference(relation.arg1)
+        arg2 = resolve_coreference(relation.arg2)
+        if arg1 is arg2:
+            # Degenerate after coreference (e.g. "actor that ..."
+            # collapsing both arguments) — drop the relation.
+            continue
+        source = graph.add_vertex(arg1, _vertex_phrase(arg1), _is_wh_vertex(arg1))
+        target = graph.add_vertex(arg2, _vertex_phrase(arg2), _is_wh_vertex(arg2))
+        graph.add_edge(source, target, relation.phrase_words)
+    return graph

@@ -1,0 +1,92 @@
+"""Semantic relations and the semantic query graph (Definitions 1–2).
+
+A *semantic relation* is a triple ⟨rel, arg1, arg2⟩: a relation phrase with
+its two argument phrases, all anchored to dependency-tree nodes.  The
+*semantic query graph* Q^S has one vertex per distinct argument and one
+edge per semantic relation; two relations sharing an argument (directly or
+through coreference) share the corresponding vertex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nlp.dependency import DependencyNode
+
+
+@dataclass(frozen=True, slots=True)
+class SemanticRelation:
+    """⟨rel, arg1, arg2⟩ extracted from the question (Definition 1)."""
+
+    phrase_words: tuple[str, ...]          # normalized relation phrase
+    arg1: DependencyNode
+    arg2: DependencyNode
+    embedding_nodes: tuple[DependencyNode, ...]
+
+    def __repr__(self) -> str:
+        phrase = " ".join(self.phrase_words)
+        return f"⟨{phrase!r}, {self.arg1.word!r}, {self.arg2.word!r}⟩"
+
+
+@dataclass(slots=True, eq=False)
+class QSVertex:
+    """A vertex of Q^S: one argument with its surface phrase."""
+
+    vertex_id: int
+    node: DependencyNode        # canonical dependency node for the argument
+    phrase: str                 # surface phrase used for entity linking
+    is_wh: bool                 # wh-words match everything (Section 2.2)
+
+    def __repr__(self) -> str:
+        marker = "?" if self.is_wh else ""
+        return f"QSVertex({self.vertex_id}:{marker}{self.phrase!r})"
+
+
+@dataclass(slots=True, eq=False)
+class QSEdge:
+    """An edge of Q^S: one relation phrase between two vertices.
+
+    The edge is directed arg1 → arg2 (the paper's candidate predicate
+    paths are mined in support-pair order); the matcher still accepts
+    either orientation per Definition 3.
+    """
+
+    source: int
+    target: int
+    phrase_words: tuple[str, ...]
+
+    def __repr__(self) -> str:
+        return f"QSEdge({self.source}-{' '.join(self.phrase_words)!r}->{self.target})"
+
+
+@dataclass(slots=True)
+class SemanticQueryGraph:
+    """The query intention of a question in structural form (Definition 2)."""
+
+    vertices: dict[int, QSVertex] = field(default_factory=dict)
+    edges: list[QSEdge] = field(default_factory=list)
+
+    def vertex_for_node(self, node: DependencyNode) -> QSVertex | None:
+        for vertex in self.vertices.values():
+            if vertex.node is node:
+                return vertex
+        return None
+
+    def add_vertex(self, node: DependencyNode, phrase: str, is_wh: bool) -> QSVertex:
+        existing = self.vertex_for_node(node)
+        if existing is not None:
+            return existing
+        vertex = QSVertex(len(self.vertices), node, phrase, is_wh)
+        self.vertices[vertex.vertex_id] = vertex
+        return vertex
+
+    def add_edge(self, source: QSVertex, target: QSVertex, phrase_words: tuple[str, ...]) -> QSEdge:
+        edge = QSEdge(source.vertex_id, target.vertex_id, phrase_words)
+        self.edges.append(edge)
+        return edge
+
+    def wh_vertices(self) -> list[QSVertex]:
+        return [v for v in self.vertices.values() if v.is_wh]
+
+    def __repr__(self) -> str:
+        return f"SemanticQueryGraph({list(self.vertices.values())}, {self.edges})"

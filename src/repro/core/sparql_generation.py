@@ -1,0 +1,64 @@
+"""Emitting SPARQL from subgraph matches (Algorithm 3's output form).
+
+The paper frames Algorithm 3 as "Generating Top-k SPARQL Queries": every
+subgraph match corresponds to one fully disambiguated SPARQL query.  Given
+a match, the wh/target vertices stay variables and every other vertex is
+bound to its matched node; multi-hop path edges expand into chained triple
+patterns with fresh intermediate variables.  Evaluating the emitted query
+on the store returns exactly the match's answer — a property the tests pin.
+"""
+
+from __future__ import annotations
+
+from repro.core.semantic_graph import SemanticQueryGraph
+from repro.match.matcher import GraphMatch
+from repro.rdf.graph import KnowledgeGraph, step_is_forward, step_predicate
+from repro.rdf.ntriples import serialize_term
+
+
+def match_to_sparql(
+    kg: KnowledgeGraph,
+    graph: SemanticQueryGraph,
+    match: GraphMatch,
+    target_vertex_ids: set[int] | None = None,
+) -> str:
+    """One SPARQL SELECT (or ASK when no target) for one match.
+
+    ``target_vertex_ids`` are emitted as variables; every other vertex is
+    bound to the node the match chose, which *is* the disambiguation.
+    """
+    targets = set(target_vertex_ids or ())
+    variables = {vid: f"?v{vid}" for vid in graph.vertices}
+
+    def term_of(vertex_id: int) -> str:
+        if vertex_id in targets:
+            return variables[vertex_id]
+        node = match.binding_of(vertex_id)
+        if node is None:
+            return variables[vertex_id]
+        return serialize_term(kg.term_of(node))
+
+    lines: list[str] = []
+    fresh = 0
+    assignments = {index: (path, conf) for index, path, conf in match.edge_assignments}
+    for index, edge in enumerate(graph.edges):
+        path, _conf = assignments.get(index, ((), 0.0))
+        current = term_of(edge.source)
+        for position, step in enumerate(path):
+            predicate = serialize_term(kg.iri_of(step_predicate(step)))
+            last = position == len(path) - 1
+            if last:
+                nxt = term_of(edge.target)
+            else:
+                nxt = f"?m{fresh}"
+                fresh += 1
+            if step_is_forward(step):
+                lines.append(f"  {current} {predicate} {nxt} .")
+            else:
+                lines.append(f"  {nxt} {predicate} {current} .")
+            current = nxt
+    body = "\n".join(lines)
+    if targets:
+        projection = " ".join(variables[vid] for vid in sorted(targets))
+        return f"SELECT DISTINCT {projection} WHERE {{\n{body}\n}}"
+    return f"ASK WHERE {{\n{body}\n}}"

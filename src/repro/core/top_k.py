@@ -1,0 +1,152 @@
+"""Algorithm 3: TA-style top-k subgraph match search.
+
+Candidate lists are confidence-sorted; a cursor per (non-wildcard) vertex
+list advances in round-robin.  At each step the cursor's candidate seeds an
+exploration-based subgraph isomorphism (Section 4.2.2 / match.matcher); the
+threshold θ is the current k-th best match score, and the upper bound for
+undiscovered matches follows Equation 3.  The search stops when
+θ ≥ Upbound (the TA stop), or when some list is exhausted — every match
+must use a candidate from every list, so a fully-seeded list proves
+completeness.
+
+One deliberate tightening over the paper's pseudo-code: Equation 3 also
+advances *edge* cursors, but matches are only ever seeded from vertex
+candidates, so an undiscovered match may still use the best edge mapping.
+We therefore keep each edge's contribution at its maximum confidence,
+which preserves correctness of the bound (and stops slightly later).
+Ties at the k-th score are all returned (the paper's footnote 4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.match.candidates import CandidateSpace
+from repro.match.matcher import GraphMatch, SubgraphMatcher, _log
+from repro.match.pruning import neighborhood_prune
+from repro.rdf.graph import KnowledgeGraph
+
+
+@dataclass(slots=True)
+class TopKResult:
+    """Top-k matches plus search diagnostics."""
+
+    matches: list[GraphMatch] = field(default_factory=list)
+    seeds_explored: int = 0
+    candidates_pruned: int = 0
+    terminated_by: str = "empty"  # "threshold" | "exhausted" | "empty"
+
+    def __iter__(self):
+        return iter(self.matches)
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+
+class TopKSearch:
+    """Runs Algorithm 3 over a candidate space.
+
+    ``use_ta=False`` disables the threshold stop (exhaustive seeding) and
+    ``use_pruning=False`` disables neighborhood pruning — both are the
+    ablation knobs DESIGN.md calls out.
+    """
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        k: int = 10,
+        use_ta: bool = True,
+        use_pruning: bool = True,
+        max_matches_per_seed: int = 10_000,
+    ):
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        if max_matches_per_seed < 1:
+            raise ValueError("max_matches_per_seed must be positive")
+        self.kg = kg
+        self.k = k
+        self.use_ta = use_ta
+        self.use_pruning = use_pruning
+        self.max_matches_per_seed = max_matches_per_seed
+
+    # ------------------------------------------------------------------ #
+
+    def search(self, space: CandidateSpace) -> TopKResult:
+        """Top-k matches of a connected candidate space."""
+        result = TopKResult()
+        if self.use_pruning:
+            result.candidates_pruned = neighborhood_prune(self.kg, space)
+        if space.has_empty_list():
+            return result
+
+        matcher = SubgraphMatcher(self.kg, space, max_matches=self.max_matches_per_seed)
+        seeded_lists = [
+            (vertex_id, vertex.candidates)
+            for vertex_id, vertex in sorted(space.vertices.items())
+            if not vertex.wildcard
+        ]
+        if not seeded_lists:
+            # Degenerate all-wildcard query: exhaustive enumeration.
+            result.matches = matcher.all_matches()[: self.k]
+            result.terminated_by = "exhausted"
+            return result
+
+        edge_bound = sum(_log(edge.best_confidence()) for edge in space.edges)
+        seen: set[frozenset[tuple[int, int]]] = set()
+        collected: list[GraphMatch] = []
+        depth = 0
+        max_depth = max(len(candidates) for _v, candidates in seeded_lists)
+        terminated = "exhausted"
+        while depth < max_depth:
+            for vertex_id, candidates in seeded_lists:
+                if depth >= len(candidates):
+                    continue
+                result.seeds_explored += 1
+                for match in matcher.matches_from_seed(vertex_id, candidates[depth]):
+                    if match.key() not in seen:
+                        seen.add(match.key())
+                        collected.append(match)
+            depth += 1
+            # A fully-consumed list means every match has been seeded.
+            if any(depth >= len(candidates) for _v, candidates in seeded_lists):
+                break
+            if self.use_ta and self._threshold_reached(
+                collected, seeded_lists, depth, edge_bound
+            ):
+                terminated = "threshold"
+                break
+        result.matches = self._select_top_k(collected)
+        result.terminated_by = terminated if result.matches else "empty"
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def _threshold_reached(
+        self,
+        collected: list[GraphMatch],
+        seeded_lists,
+        depth: int,
+        edge_bound: float,
+    ) -> bool:
+        if len(collected) < self.k:
+            return False
+        scores = sorted((m.score for m in collected), reverse=True)
+        threshold = scores[self.k - 1]
+        upbound = edge_bound
+        for _vertex_id, candidates in seeded_lists:
+            upbound += _log(candidates[depth].confidence)
+        # Strict comparison: an undiscovered match could score exactly the
+        # threshold, and footnote 4 returns all matches tied at the k-th
+        # score.  (The paper's pseudo-code stops at ≥; strictness costs a
+        # little work and buys tie completeness.)
+        return threshold > upbound + 1e-12
+
+    def _select_top_k(self, collected: list[GraphMatch]) -> list[GraphMatch]:
+        """Best k matches, keeping all matches tied with the k-th score."""
+        ranked = sorted(collected, key=lambda m: (-m.score, m.bindings))
+        if len(ranked) <= self.k:
+            return ranked
+        cutoff = ranked[self.k - 1].score
+        top = [m for m in ranked if m.score > cutoff or math.isclose(m.score, cutoff)]
+        return top

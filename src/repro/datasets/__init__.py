@@ -1,0 +1,34 @@
+"""Datasets: the curated mini-DBpedia KG, the Patty-style relation-phrase
+dataset, the QALD-style benchmark questions, and a synthetic KG generator.
+
+These stand in for the paper's resources (DBpedia, Patty, QALD-3) — see
+DESIGN.md §2 for what each substitution preserves.  Everything is built
+deterministically in code; generators take explicit seeds.
+"""
+
+from repro.datasets.dbpedia_mini import ONT, RES, build_dbpedia_mini
+from repro.datasets.patty_sim import build_phrase_dataset, build_noisy_phrase_dataset
+from repro.datasets.qald import QALDQuestion, qald_questions
+from repro.datasets.synthetic import SyntheticConfig, build_synthetic_kg
+from repro.datasets.yago_mini import (
+    YagoQuestion,
+    build_yago_mini,
+    yago_phrase_dataset,
+    yago_questions,
+)
+
+__all__ = [
+    "ONT",
+    "RES",
+    "build_dbpedia_mini",
+    "build_phrase_dataset",
+    "build_noisy_phrase_dataset",
+    "QALDQuestion",
+    "qald_questions",
+    "SyntheticConfig",
+    "build_synthetic_kg",
+    "YagoQuestion",
+    "build_yago_mini",
+    "yago_phrase_dataset",
+    "yago_questions",
+]

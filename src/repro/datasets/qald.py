@@ -1,0 +1,329 @@
+"""The QALD-3-style benchmark: 99 questions with gold answers.
+
+Mirrors the composition of the QALD-3 DBpedia test set the paper evaluates
+on (Section 6.3):
+
+* the **32 questions of Table 11** — the ones the paper answers correctly —
+  with their original ids and (lightly adapted) text, all answerable over
+  the mini KG;
+* **11 partially-answerable** questions (gold sets the KG covers only
+  partly, or ambiguous phrases that add wrong extras) — Table 8's
+  "partially" column;
+* **failing questions** in the proportions of Table 10: aggregation
+  (largest class), entity linking (MI6-style traps), relation extraction
+  (withheld phrases), and others (data gaps → wrong/no answers).
+
+Gold answers are term strings: ``res:Name`` for IRIs, bare lexical forms
+for literals.  Yes/no questions carry ``gold_boolean`` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Expected outcome categories (used to *organise* the dataset; the
+#: evaluation harness computes actual outcomes independently).
+RIGHT = "right"
+PARTIAL = "partial"
+AGGREGATION = "aggregation"
+LINKING = "entity_linking"
+RELATION = "relation_extraction"
+OTHER = "other"
+
+
+@dataclass(frozen=True, slots=True)
+class QALDQuestion:
+    """One benchmark question with its gold standard."""
+
+    qid: int
+    text: str
+    gold: frozenset[str] = frozenset()
+    gold_boolean: bool | None = None
+    category: str = OTHER
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.gold_boolean is not None
+
+
+def _q(qid, text, gold=(), boolean=None, category=OTHER):
+    return QALDQuestion(qid, text, frozenset(gold), boolean, category)
+
+
+_QUESTIONS: list[QALDQuestion] = [
+    # ------------------------------------------------------------------ #
+    # Table 11: the 32 questions the paper answers correctly.
+    # ------------------------------------------------------------------ #
+    _q(2, "Who was the successor of John F. Kennedy?",
+       ["res:Lyndon_B._Johnson"], category=RIGHT),
+    _q(3, "Who is the mayor of Berlin?", ["res:Klaus_Wowereit"], category=RIGHT),
+    _q(14, "Give me all members of Prodigy.",
+       ["res:Liam_Howlett", "res:Keith_Flint", "res:Maxim_(musician)"],
+       category=RIGHT),
+    _q(17, "Give me all cars that are produced in Germany.",
+       ["res:BMW_M3", "res:Volkswagen_Golf", "res:Porsche_911"], category=RIGHT),
+    _q(19, "Give me all people that were born in Vienna and died in Berlin.",
+       ["res:Carl_Auer", "res:Rosa_Albach"], category=RIGHT),
+    _q(20, "How tall is Michael Jordan?", ["1.98"], category=RIGHT),
+    _q(21, "What is the capital of Canada?", ["res:Ottawa"], category=RIGHT),
+    _q(22, "Who is the governor of Wyoming?", ["res:Matt_Mead"], category=RIGHT),
+    _q(24, "Who was the father of Queen Elizabeth II?",
+       ["res:George_VI"], category=RIGHT),
+    _q(27, "Sean Parnell is the governor of which U.S. state?",
+       ["res:Alaska"], category=RIGHT),
+    _q(28, "Give me all movies directed by Francis Ford Coppola.",
+       ["res:The_Godfather", "res:The_Godfather_Part_II", "res:Apocalypse_Now"],
+       category=RIGHT),
+    _q(30, "What is the birth name of Angela Merkel?",
+       ["Angela Dorothea Kasner"], category=RIGHT),
+    _q(35, "Who developed Minecraft?", ["res:Mojang"], category=RIGHT),
+    _q(39, "Give me all companies in Munich.",
+       ["res:BMW", "res:Siemens", "res:Allianz"], category=RIGHT),
+    _q(41, "Who founded Intel?",
+       ["res:Robert_Noyce", "res:Gordon_Moore"], category=RIGHT),
+    _q(42, "Who is the husband of Amanda Palmer?",
+       ["res:Neil_Gaiman"], category=RIGHT),
+    _q(44, "Which cities does the Weser flow through?",
+       ["res:Bremen", "res:Bremerhaven", "res:Minden"], category=RIGHT),
+    _q(45, "Which countries are connected by the Rhine?",
+       ["res:Germany", "res:France", "res:Switzerland", "res:Netherlands"],
+       category=RIGHT),
+    _q(54, "What are the nicknames of San Francisco?",
+       ["The Golden City", "Fog City"], category=RIGHT),
+    _q(58, "What is the time zone of Salt Lake City?",
+       ["res:Mountain_Time_Zone"], category=RIGHT),
+    _q(63, "Give me all Argentine films.",
+       ["res:The_Secret_in_Their_Eyes", "res:Nine_Queens", "res:Wild_Tales"],
+       category=RIGHT),
+    _q(70, "Is Michelle Obama the wife of Barack Obama?",
+       boolean=True, category=RIGHT),
+    _q(74, "When did Michael Jackson die?", ["2009-06-25"], category=RIGHT),
+    _q(76, "List the children of Margaret Thatcher.",
+       ["res:Mark_Thatcher", "res:Carol_Thatcher"], category=RIGHT),
+    _q(77, "Who was called Scarface?", ["res:Al_Capone"], category=RIGHT),
+    _q(81, "Which books by Kerouac were published by Viking Press?",
+       ["res:On_the_Road", "res:The_Dharma_Bums"], category=RIGHT),
+    _q(83, "How high is the Mount Everest?", ["8848"], category=RIGHT),
+    _q(84, "Who created the comic Captain America?",
+       ["res:Joe_Simon", "res:Jack_Kirby"], category=RIGHT),
+    _q(86, "What is the largest city in Australia?", ["res:Sydney"], category=RIGHT),
+    _q(89, "In which city was the former Dutch queen Juliana buried?",
+       ["res:Delft"], category=RIGHT),
+    _q(98, "Which country does the creator of Miffy come from?",
+       ["res:Netherlands"], category=RIGHT),
+    _q(100, "Who produces Orangina?", ["res:Suntory"], category=RIGHT),
+    # ------------------------------------------------------------------ #
+    # Partially answerable: KG covers part of the gold set, or an
+    # ambiguous phrase adds wrong extras.
+    # ------------------------------------------------------------------ #
+    _q(1, "Give me all movies with Tom Cruise.",
+       ["res:Top_Gun", "res:Mission_Impossible", "res:Vanilla_Sky"],
+       category=PARTIAL),  # 'movie with' also maps to producer → extra
+    _q(4, "Give me all books by Kerouac.",
+       ["res:On_the_Road", "res:The_Dharma_Bums", "res:Big_Sur_(novel)",
+        "res:Visions_of_Cody"], category=PARTIAL),
+    _q(5, "Give me all cities in Germany.",
+       ["res:Berlin", "res:Munich", "res:Hamburg", "res:Leipzig",
+        "res:Cologne"], category=PARTIAL),
+    _q(6, "Who plays for Manchester United?",
+       ["res:Ryan_Giggs", "res:Wayne_Rooney", "res:David_de_Gea"],
+       category=PARTIAL),
+    _q(8, "Give me all mountains in Germany.",
+       ["res:Zugspitze", "res:Watzmann", "res:Feldberg"], category=PARTIAL),
+    _q(9, "In which movies did Antonio Banderas star?",
+       ["res:Philadelphia_(film)", "res:Desperado"], category=PARTIAL),
+    _q(10, "Who was born in Vienna?",
+       ["res:Carl_Auer", "res:Rosa_Albach", "res:Franz_Schubert",
+        "res:Ludwig_Boltzmann"], category=PARTIAL),
+    _q(11, "Which people died in Berlin?",
+       ["res:Carl_Auer", "res:Rosa_Albach", "res:Bertolt_Brecht"],
+       category=PARTIAL),
+    _q(12, "Which books were published by Viking Press?",
+       ["res:On_the_Road", "res:The_Dharma_Bums", "res:Lolita"],
+       category=PARTIAL),
+    _q(15, "Which films did Francis Ford Coppola direct?",
+       ["res:The_Godfather", "res:The_Godfather_Part_II",
+        "res:Apocalypse_Now", "res:The_Conversation"], category=PARTIAL),
+    _q(16, "Who starred in Titanic?",
+       ["res:Leonardo_DiCaprio", "res:Kate_Winslet"], category=PARTIAL),
+    # ------------------------------------------------------------------ #
+    # Aggregation questions (Table 10's largest failure class, 35 %).
+    # ------------------------------------------------------------------ #
+    _q(13, "Who is the youngest player in the Premier League?",
+       ["res:Raheem_Sterling"], category=AGGREGATION),
+    _q(18, "What is the highest mountain in Germany?",
+       ["res:Zugspitze"], category=AGGREGATION),
+    _q(23, "Which German city has the most inhabitants?",
+       ["res:Berlin"], category=AGGREGATION),
+    _q(25, "How many films did Tom Cruise star in?", ["3"], category=AGGREGATION),
+    _q(26, "What is the longest river that crosses Germany?",
+       ["res:Rhine"], category=AGGREGATION),
+    _q(29, "Who is the oldest child of Margaret Thatcher?",
+       ["res:Mark_Thatcher"], category=AGGREGATION),
+    _q(31, "Which company in Munich has the most employees?",
+       ["res:Siemens"], category=AGGREGATION),
+    _q(32, "How many children did Margaret Thatcher have?",
+       ["2"], category=AGGREGATION),
+    _q(33, "How many members does the Prodigy have?", ["3"], category=AGGREGATION),
+    _q(34, "What is the biggest city in Germany?",
+       ["res:Berlin"], category=AGGREGATION),
+    _q(36, "Who is the tallest player in the Premier League?",
+       ["res:Ryan_Giggs"], category=AGGREGATION),
+    _q(38, "How many companies are located in Munich?", ["3"], category=AGGREGATION),
+    _q(40, "How many cities does the Weser flow through?", ["3"], category=AGGREGATION),
+    _q(43, "Which book by Kerouac has the most pages?",
+       ["res:On_the_Road"], category=AGGREGATION),
+    _q(46, "How many launch pads does NASA operate?", ["2"], category=AGGREGATION),
+    _q(47, "What is the longest river in Germany?", ["res:Rhine"], category=AGGREGATION),
+    _q(49, "Who is the youngest governor of a U.S. state?",
+       ["res:Sean_Parnell"], category=AGGREGATION),
+    _q(50, "How many students does the Free University in Amsterdam have?",
+       ["40000"], category=AGGREGATION),
+    _q(51, "Which city in Australia has the most inhabitants?",
+       ["res:Sydney"], category=AGGREGATION),
+    _q(52, "What is the smallest country crossed by the Rhine?",
+       ["res:Switzerland"], category=AGGREGATION),
+    # ------------------------------------------------------------------ #
+    # Entity-linking failures (27 %): the mention does not resolve.
+    # ------------------------------------------------------------------ #
+    _q(48, "In which UK city are the headquarters of the MI6?",
+       ["res:London"], category=LINKING),
+    _q(53, "Who wrote The Hobbit?", ["res:J._R._R._Tolkien"], category=LINKING),
+    _q(55, "Who is the front man of Nirvana?",
+       ["res:Kurt_Cobain"], category=LINKING),
+    _q(56, "How tall is Shaq?", ["2.16"], category=LINKING),
+    _q(57, "When did Freddie Mercury die?", ["1991-11-24"], category=LINKING),
+    _q(59, "Who founded Apple Inc.?",
+       ["res:Steve_Jobs", "res:Steve_Wozniak"], category=LINKING),
+    _q(60, "What is the capital of Moldova?", ["res:Chisinau"], category=LINKING),
+    _q(61, "Give me all movies directed by Stanley Kubrick.",
+       ["res:2001_A_Space_Odyssey"], category=LINKING),
+    _q(62, "Who is the governor of Texas?", ["res:Rick_Perry"], category=LINKING),
+    _q(65, "What is the time zone of Tokyo?",
+       ["res:Japan_Standard_Time"], category=LINKING),
+    _q(66, "Who was the father of Louis XIV?", ["res:Louis_XIII"], category=LINKING),
+    _q(67, "Which cities does the Mississippi flow through?",
+       ["res:Memphis", "res:New_Orleans"], category=LINKING),
+    _q(68, "Who developed Skype?", ["res:Skype_Technologies"], category=LINKING),
+    _q(69, "What are the nicknames of Chicago?",
+       ["The Windy City"], category=LINKING),
+    _q(71, "Who was called the King of Pop?",
+       ["res:Michael_Jackson"], category=LINKING),
+    # ------------------------------------------------------------------ #
+    # Relation-extraction failures (22 %): no phrase embedding found.
+    # ------------------------------------------------------------------ #
+    _q(64, "Give me all launch pads operated by NASA.",
+       ["res:Launch_Complex_39A", "res:Launch_Complex_39B"], category=RELATION),
+    _q(37, "Give me all sister cities of Brno.",
+       ["res:Leipzig", "res:Vienna"], category=RELATION),
+    _q(72, "Which museums exhibit The Scream?",
+       ["res:National_Gallery_Oslo"], category=RELATION),
+    _q(73, "Which countries border Germany?",
+       ["res:France", "res:Switzerland", "res:Netherlands"], category=RELATION),
+    _q(75, "Which moons orbit Jupiter?", ["res:Europa", "res:Io"], category=RELATION),
+    _q(78, "Which languages are spoken in Switzerland?",
+       ["res:German_language", "res:French_language"], category=RELATION),
+    _q(79, "What does the abbreviation NASA stand for?",
+       ["National Aeronautics and Space Administration"], category=RELATION),
+    _q(80, "Which bridges span the Rhine?",
+       ["res:Hohenzollern_Bridge"], category=RELATION),
+    _q(82, "Who assassinated John F. Kennedy?",
+       ["res:Lee_Harvey_Oswald"], category=RELATION),
+    _q(85, "Which software is licensed under the GPL?",
+       ["res:Linux"], category=RELATION),
+    _q(87, "Who voiced Darth Vader?", ["res:James_Earl_Jones"], category=RELATION),
+    _q(88, "Which asteroids were discovered in 1801?",
+       ["res:Ceres"], category=RELATION),
+    # ------------------------------------------------------------------ #
+    # Other failures (16 %): data gaps → empty or wrong answers.
+    # ------------------------------------------------------------------ #
+    _q(7, "Is Berlin the capital of Germany?", boolean=True, category=OTHER),
+    # Q90 answers partially: the missing capital-of-Germany fact leaves
+    # "capital" an unconstrained variable, so the mirror orientation of the
+    # mayor edge adds Berlin itself next to the correct answer.
+    _q(90, "Who is the mayor of the capital of Germany?",
+       ["res:Klaus_Wowereit"], category=PARTIAL),
+    _q(91, "Which films are produced in the United States?",
+       ["res:Titanic_(film)"], category=OTHER),
+    _q(92, "Who is married to the mayor of Berlin?",
+       ["res:Joern_Kubicki"], category=OTHER),
+    _q(93, "Was Angela Merkel born in Hamburg?", boolean=True, category=OTHER),
+    _q(94, "Who was the successor of Lyndon B. Johnson?",
+       ["res:Richard_Nixon"], category=OTHER),
+    _q(95, "Which cities does the Elbe flow through?",
+       ["res:Hamburg", "res:Dresden"], category=OTHER),
+    _q(96, "Who is the wife of Tom Hanks?", ["res:Rita_Wilson"], category=OTHER),
+    _q(97, "Which movies did Jonathan Demme produce?",
+       ["res:Philadelphia_(film)"], category=OTHER),
+]
+
+
+_TRAIN_QUESTIONS: list[QALDQuestion] = [
+    _q(101, "Who directed The Godfather?", ["res:Francis_Ford_Coppola"], category=RIGHT),
+    _q(102, "Who directed Apocalypse Now?", ["res:Francis_Ford_Coppola"], category=RIGHT),
+    _q(103, "Who was married to Antonio Banderas?", ["res:Melanie_Griffith"], category=RIGHT),
+    _q(104, "Who is married to Neil Gaiman?", ["res:Amanda_Palmer"], category=RIGHT),
+    _q(105, "Which films did Jonathan Demme direct?", ["res:Philadelphia_(film)"], category=RIGHT),
+    _q(106, "Who is the father of Elizabeth II?", ["res:George_VI"], category=RIGHT),
+    _q(107, "Which city is the capital of Canada?", ["res:Ottawa"], category=RIGHT),
+    _q(108, "How high is the Zugspitze?", ["2962"], category=RIGHT),
+    _q(109, "How tall is Ryan Giggs?", ["1.79"], category=RIGHT),
+    _q(110, "Which books were published by Farrar Straus and Giroux?",
+       ["res:Big_Sur_(novel)"], category=RIGHT),
+    _q(111, "Who wrote On the Road?", ["res:Jack_Kerouac"], category=RIGHT),
+    _q(112, "Who wrote The Pillars of the Earth?", ["res:Ken_Follett"], category=RIGHT),
+    _q(113, "Which rivers flow through Bremen?", ["res:Weser"], category=RIGHT),
+    _q(114, "Which company produces Orangina?", ["res:Suntory"], category=RIGHT),
+    _q(115, "Who plays for Liverpool FC?", ["res:Raheem_Sterling"], category=RIGHT),
+    _q(116, "Who plays for the Philadelphia 76ers?", ["res:Aaron_McKie"], category=RIGHT),
+    _q(117, "Where was Carl Auer born?", ["res:Vienna"], category=RIGHT),
+    _q(118, "Where did Franz Schubert die?", ["res:Vienna"], category=RIGHT),
+    _q(119, "Is Barack Obama married to Michelle Obama?", boolean=True, category=RIGHT),
+    _q(120, "Did Antonio Banderas star in Philadelphia?", boolean=True, category=RIGHT),
+    _q(121, "Which mountains are in Germany?",
+       ["res:Zugspitze", "res:Watzmann"], category=RIGHT),
+    _q(122, "Who is the governor of Alaska?", ["res:Sean_Parnell"], category=RIGHT),
+    _q(123, "How high is the Watzmann?", ["2713"], category=RIGHT),
+    _q(124, "When was Wayne Rooney born?", ["1985-10-24"], category=RIGHT),
+    _q(125, "Give me all films directed by Jonathan Demme.",
+       ["res:Philadelphia_(film)"], category=RIGHT),
+    # Q126 needs the 2-hop (team · league) path — it separates θ=1 from
+    # θ≥2 in the tuning sweep.
+    _q(126, "Give me all players in the Premier League.",
+       ["res:Ryan_Giggs", "res:Wayne_Rooney", "res:Raheem_Sterling"],
+       category=RIGHT),
+    _q(127, "What is the population of Berlin?", ["3645000"], category=RELATION),
+    _q(128, "Who created Miffy?", ["res:Dick_Bruna"], category=RIGHT),
+    _q(129, "Which companies are in Munich?",
+       ["res:BMW", "res:Siemens", "res:Allianz"], category=RIGHT),
+    _q(130, "Give me all German cars.",
+       ["res:BMW_M3", "res:Volkswagen_Golf", "res:Porsche_911"], category=RIGHT),
+]
+
+
+def qald_train_questions() -> list[QALDQuestion]:
+    """The 30-question training split (parameter tuning, Exp-style sweeps).
+
+    QALD-3 ships a training set alongside the 99 test questions; systems
+    tune on it.  These questions are disjoint from the test split (ids
+    101+) but run over the same knowledge base.
+    """
+    questions = sorted(_TRAIN_QUESTIONS, key=lambda q: q.qid)
+    assert len(questions) == 30
+    return questions
+
+
+def qald_questions() -> list[QALDQuestion]:
+    """The 99 benchmark questions, sorted by id."""
+    questions = sorted(_QUESTIONS, key=lambda q: q.qid)
+    assert len(questions) == 99, f"expected 99 questions, have {len(questions)}"
+    assert len({q.qid for q in questions}) == 99, "duplicate question ids"
+    return questions
+
+
+def questions_by_category() -> dict[str, list[QALDQuestion]]:
+    """Questions grouped by their expected outcome category."""
+    grouped: dict[str, list[QALDQuestion]] = {}
+    for question in qald_questions():
+        grouped.setdefault(question.category, []).append(question)
+    return grouped

@@ -1,0 +1,27 @@
+"""Evaluation: QALD metrics, the end-to-end harness, and table formatting.
+
+Implements the scoring used in Section 6.3: per-question precision/recall/
+F1 against the gold standard, QALD-3 macro-averaging over all questions,
+the right/partial counts of Table 8, and the failure classification of
+Table 10.
+"""
+
+from repro.eval.metrics import (
+    QuestionScore,
+    classify_failure,
+    question_score,
+    summarize,
+)
+from repro.eval.harness import EvaluationRun, QuestionOutcome, evaluate_system
+from repro.eval.reporting import format_table
+
+__all__ = [
+    "QuestionScore",
+    "classify_failure",
+    "question_score",
+    "summarize",
+    "EvaluationRun",
+    "QuestionOutcome",
+    "evaluate_system",
+    "format_table",
+]

@@ -1,0 +1,127 @@
+"""QALD scoring: per-question P/R/F1, summary counts, failure classes.
+
+Scoring follows the QALD-3 campaign rules the paper reports under
+(Table 8): per-question precision and recall against the gold set, macro-
+averaged over *all* questions (unanswered questions contribute zeros);
+a question is *right* when F1 = 1 and *partially* right when 0 < F1 < 1.
+Yes/no questions score 1/1 on a correct boolean and 0/0 otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.qald import QALDQuestion
+from repro.exceptions import EvaluationError
+from repro.rdf.terms import IRI, Literal, Term
+
+
+def term_to_gold(term: Term) -> str:
+    """Canonical gold-standard string form of an answer term."""
+    if isinstance(term, IRI):
+        return term.value
+    if isinstance(term, Literal):
+        return term.lexical
+    raise EvaluationError(f"unexpected answer term: {term!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class QuestionScore:
+    """Precision/recall/F1 of one system answer against one gold standard."""
+
+    precision: float
+    recall: float
+    answered: bool
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+    @property
+    def is_right(self) -> bool:
+        return self.answered and self.f1 == 1.0
+
+    @property
+    def is_partial(self) -> bool:
+        return self.answered and 0.0 < self.f1 < 1.0
+
+
+def question_score(
+    question: QALDQuestion,
+    answers: list[Term],
+    boolean: bool | None,
+) -> QuestionScore:
+    """Score one system output against the question's gold standard."""
+    if question.is_boolean:
+        if boolean is None:
+            return QuestionScore(0.0, 0.0, answered=False)
+        correct = boolean == question.gold_boolean
+        value = 1.0 if correct else 0.0
+        return QuestionScore(value, value, answered=True)
+
+    if not answers:
+        return QuestionScore(0.0, 0.0, answered=False)
+    produced = {term_to_gold(term) for term in answers}
+    gold = set(question.gold)
+    if not gold:
+        raise EvaluationError(f"question {question.qid} has no gold standard")
+    overlap = len(produced & gold)
+    precision = overlap / len(produced)
+    recall = overlap / len(gold)
+    return QuestionScore(precision, recall, answered=True)
+
+
+def classify_failure(question: QALDQuestion, score: QuestionScore, failure: str | None) -> str | None:
+    """Table 10 failure class of a non-right outcome (None when right).
+
+    Aggregation questions that go wrong are aggregation failures no matter
+    where the pipeline tripped; otherwise the pipeline's own failure tag
+    decides, and anything unexplained is "other".
+    """
+    from repro.datasets import qald as categories
+    from repro.nlp.questions import analyze_question
+
+    if score.is_right:
+        return None
+    if analyze_question(question.text).is_aggregation:
+        return categories.AGGREGATION
+    if failure == "entity_linking":
+        return categories.LINKING
+    if failure in ("relation_extraction", "parse"):
+        return categories.RELATION
+    if score.is_partial:
+        return categories.PARTIAL
+    return categories.OTHER
+
+
+@dataclass(slots=True)
+class Summary:
+    """Table 8-shaped aggregate over a question set."""
+
+    total: int = 0
+    processed: int = 0
+    right: int = 0
+    partial: int = 0
+    precision: float = 0.0
+    recall: float = 0.0
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def summarize(scores: list[QuestionScore]) -> Summary:
+    """QALD macro-average and counts over all questions."""
+    summary = Summary(total=len(scores))
+    if not scores:
+        return summary
+    summary.processed = sum(1 for s in scores if s.answered)
+    summary.right = sum(1 for s in scores if s.is_right)
+    summary.partial = sum(1 for s in scores if s.is_partial)
+    summary.precision = sum(s.precision for s in scores) / len(scores)
+    summary.recall = sum(s.recall for s in scores) / len(scores)
+    return summary

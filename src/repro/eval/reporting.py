@@ -1,0 +1,66 @@
+"""Plain-text table formatting for benchmark output.
+
+Every benchmark prints its table through :func:`format_table` so the
+regenerated rows line up with the paper's presentation.
+"""
+
+from __future__ import annotations
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: list[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("-+-".join("-" * width for width in widths))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_bar_chart(
+    labels: list[str],
+    values: list[float],
+    title: str | None = None,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render a horizontal ASCII bar chart (the repo's 'figures').
+
+    Bars scale to the maximum value; zero/negative values render as empty
+    bars.  Useful for Figure 6-style per-question comparisons in terminal
+    output and text artefacts.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    if not values:
+        return "\n".join(parts) if parts else ""
+    peak = max(max(values), 0.0)
+    label_width = max(len(label) for label in labels)
+    for label, value in zip(labels, values):
+        filled = 0 if peak <= 0 else round(max(value, 0.0) / peak * width)
+        bar = "█" * filled
+        parts.append(f"{label.ljust(label_width)} |{bar.ljust(width)} {value:g}{unit}")
+    return "\n".join(parts)

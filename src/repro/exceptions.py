@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Subsystems raise the most specific subclass that applies;
+none of these wrap-and-reraise silently.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class RDFSyntaxError(ReproError):
+    """Raised when parsing serialized RDF (N-Triples) fails.
+
+    Carries the 1-based line number of the offending input line when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class TermNotFoundError(ReproError):
+    """Raised when a term id or lexical form is absent from a dictionary."""
+
+
+class SPARQLSyntaxError(ReproError):
+    """Raised when parsing a SPARQL query fails."""
+
+
+class SPARQLEvaluationError(ReproError):
+    """Raised when a structurally valid SPARQL query cannot be evaluated."""
+
+
+class ParseError(ReproError):
+    """Raised when the NLP layer cannot produce a dependency tree."""
+
+
+class QuestionUnderstandingError(ReproError):
+    """Raised when no semantic query graph can be built for a question."""
+
+
+class LinkingError(ReproError):
+    """Raised on entity-linking configuration errors (not on empty results)."""
+
+
+class MiningError(ReproError):
+    """Raised on invalid inputs to the paraphrase-dictionary miner."""
+
+
+class ILPError(ReproError):
+    """Raised on malformed integer linear programs."""
+
+
+class InfeasibleError(ILPError):
+    """Raised when an ILP instance has no feasible assignment."""
+
+
+class EvaluationError(ReproError):
+    """Raised on malformed benchmark or gold-standard inputs."""

@@ -1,0 +1,15 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each module exposes a ``run(...)`` returning an :class:`ExperimentResult`
+(title, headers, rows, notes) that the benchmark harness executes and the
+EXPERIMENTS.md record quotes.  The drivers hold *all* experiment logic so
+``benchmarks/`` stays thin timing shells.
+
+Paper-published numbers are kept in :mod:`repro.experiments.paper` and are
+printed next to measured values — reproduction compares shapes, not
+absolute numbers (our substrate is a simulator, not the authors' testbed).
+"""
+
+from repro.experiments.common import ExperimentResult, default_setup
+
+__all__ = ["ExperimentResult", "default_setup"]

@@ -1,0 +1,247 @@
+"""Online experiments: Tables 8–11 and Figure 6.
+
+All drivers run over the QALD-style benchmark of
+:mod:`repro.datasets.qald` with the default mini-DBpedia setup (timing
+comparisons use the distractor-padded graph, which recreates DBpedia's
+candidate-list sizes without changing any answer).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.baselines import Deanna, TemplateQA
+from repro.core import GAnswer
+from repro.datasets import qald_questions
+from repro.eval import evaluate_system
+from repro.eval.harness import EvaluationRun
+from repro.experiments import paper
+from repro.experiments.common import ExperimentResult, default_setup
+from repro.linking import EntityLinker
+
+
+def run_ganswer(
+    distractors: int = 0, linker_candidates: int | None = None, **kwargs
+) -> EvaluationRun:
+    setup = default_setup(distractors)
+    linker = (
+        EntityLinker(setup.kg, max_candidates=linker_candidates)
+        if linker_candidates is not None
+        else None
+    )
+    system = GAnswer(setup.kg, setup.dictionary, linker=linker, **kwargs)
+    return evaluate_system(system, qald_questions(), "Our Method (repro)")
+
+
+def run_deanna(
+    distractors: int = 0, linker_candidates: int | None = None
+) -> EvaluationRun:
+    setup = default_setup(distractors)
+    linker = (
+        EntityLinker(setup.kg, max_candidates=linker_candidates)
+        if linker_candidates is not None
+        else None
+    )
+    system = Deanna(setup.kg, setup.dictionary, linker=linker)
+    return evaluate_system(system, qald_questions(), "DEANNA (repro)")
+
+
+def run_template(distractors: int = 0) -> EvaluationRun:
+    setup = default_setup(distractors)
+    system = TemplateQA(setup.kg, setup.dictionary)
+    return evaluate_system(system, qald_questions(), "Template QA (repro)")
+
+
+def _summary_row(run: EvaluationRun) -> list[object]:
+    summary = run.summary
+    return [
+        run.system_name,
+        summary.processed,
+        summary.right,
+        summary.partial,
+        round(summary.recall, 2),
+        round(summary.precision, 2),
+        round(summary.f1, 2),
+    ]
+
+
+def table8_end_to_end() -> ExperimentResult:
+    """Table 8: QALD-3-style end-to-end comparison.
+
+    Reimplemented systems are measured; the other QALD-3 campaign systems
+    are quoted from the paper for context.
+    """
+    result = ExperimentResult(
+        "table8",
+        "Table 8 — end-to-end QALD evaluation (99 questions)",
+        ["system", "processed", "right", "partially", "recall", "precision", "F-1"],
+    )
+    result.rows.append(_summary_row(run_ganswer()))
+    result.rows.append(_summary_row(run_deanna()))
+    result.rows.append(_summary_row(run_template()))
+    for name, (processed, right, partial, recall, precision, f1) in paper.TABLE8.items():
+        result.rows.append(
+            [f"{name} (paper)", processed, right, partial, recall, precision, f1]
+        )
+    result.notes.append(
+        "shape to check: our method answers the most questions among "
+        "reimplemented/NL systems and beats DEANNA 32 vs 21 right"
+    )
+    return result
+
+
+def figure6_runtime(distractors: int = 25, linker_candidates: int = 30) -> ExperimentResult:
+    """Figure 6: per-question running time, ours vs DEANNA.
+
+    Run on the distractor-padded graph with a DBpedia-Lookup-sized
+    candidate budget, so candidate lists have realistic lengths; reported
+    per question answered correctly by both systems.
+    """
+    ours = run_ganswer(distractors, linker_candidates=linker_candidates)
+    deanna = run_deanna(distractors, linker_candidates=linker_candidates)
+    result = ExperimentResult(
+        "figure6",
+        "Figure 6 — online running time, ours vs DEANNA "
+        f"(paper: 2–68x total speedup, understanding < "
+        f"{paper.FIGURE6_UNDERSTANDING_BOUND_MS} ms)",
+        [
+            "question", "ours understand (ms)", "ours total (ms)",
+            "DEANNA understand (ms)", "DEANNA total (ms)", "speedup",
+        ],
+    )
+    speedups = []
+    for outcome in ours.right_questions():
+        other = deanna.outcome_for(outcome.question.qid)
+        if not other.score.is_right:
+            continue
+        speedup = other.total_time / max(outcome.total_time, 1e-9)
+        speedups.append(speedup)
+        result.rows.append(
+            [
+                f"Q{outcome.question.qid}",
+                round(outcome.understanding_time * 1000, 2),
+                round(outcome.total_time * 1000, 2),
+                round(other.understanding_time * 1000, 2),
+                round(other.total_time * 1000, 2),
+                f"{speedup:.1f}x",
+            ]
+        )
+    if speedups:
+        result.notes.append(
+            f"speedup range {min(speedups):.1f}x–{max(speedups):.1f}x, "
+            f"median {statistics.median(speedups):.1f}x "
+            f"(paper: {paper.FIGURE6_SPEEDUP_RANGE[0]}–"
+            f"{paper.FIGURE6_SPEEDUP_RANGE[1]}x)"
+        )
+        max_understanding = max(
+            outcome.understanding_time for outcome in ours.outcomes
+        )
+        result.notes.append(
+            f"our max understanding time {max_understanding * 1000:.1f} ms "
+            "(paper bound: 100 ms)"
+        )
+        from repro.eval.reporting import format_bar_chart
+
+        chart = format_bar_chart(
+            [row[0] for row in result.rows],
+            [round(s, 1) for s in speedups],
+            title="speedup over DEANNA per question (x):",
+            unit="x",
+        )
+        result.notes.append("\n" + chart)
+    return result
+
+
+def table9_heuristic_rules() -> ExperimentResult:
+    """Table 9: the effect of argument-finding Rules 1–4."""
+    setup = default_setup()
+    with_rules = run_ganswer()
+    without_system = GAnswer(setup.kg, setup.dictionary, use_heuristic_rules=False)
+    without = evaluate_system(without_system, qald_questions(), "without rules")
+
+    def arguments_found(run: EvaluationRun) -> int:
+        # A question "finds its arguments" when a semantic query graph with
+        # at least one edge was built.
+        return sum(
+            1
+            for outcome in run.outcomes
+            if outcome.pipeline_failure not in ("relation_extraction", "parse")
+        )
+
+    result = ExperimentResult(
+        "table9",
+        "Table 9 — heuristic rules for finding associated arguments "
+        "(paper: 32→48 arguments, 21→32 answers)",
+        ["metric", "without the four rules", "using the four rules"],
+    )
+    result.rows.append(
+        ["questions with arguments found", arguments_found(without), arguments_found(with_rules)]
+    )
+    result.rows.append(
+        ["questions answered correctly", without.summary.right, with_rules.summary.right]
+    )
+    return result
+
+
+def table10_failure_analysis() -> ExperimentResult:
+    """Table 10: why questions fail, by class."""
+    run = run_ganswer()
+    counts = run.failure_counts()
+    # "partial" outcomes are near-misses, not failures, in the paper's
+    # bucketing; fold them into "other" visibility but report separately.
+    failures = {
+        key: counts.get(key, 0)
+        for key in ("entity_linking", "relation_extraction", "aggregation", "other")
+    }
+    total = sum(failures.values())
+    samples = {
+        "entity_linking": "Q48: In which UK city are the headquarters of the MI6?",
+        "relation_extraction": "Q64: Give me all launch pads operated by NASA.",
+        "aggregation": "Q13: Who is the youngest player in the Premier League?",
+        "other": "Q7: Is Berlin the capital of Germany?",
+    }
+    result = ExperimentResult(
+        "table10",
+        "Table 10 — failure analysis (paper ratios: linking 27%, relation "
+        "22%, aggregation 35%, other 16%)",
+        ["reason", "count", "ratio", "sample question"],
+    )
+    for reason, count in failures.items():
+        ratio = count / total if total else 0.0
+        paper_count, paper_ratio = paper.TABLE10[reason]
+        result.rows.append(
+            [f"{reason} (paper {paper_count}, {paper_ratio:.0%})", count,
+             f"{ratio:.0%}", samples[reason]]
+        )
+    result.notes.append(
+        f"partially-answered questions: {counts.get('partial', 0)} "
+        "(reported separately in Table 8)"
+    )
+    return result
+
+
+def table11_answered_questions() -> ExperimentResult:
+    """Table 11: the correctly answered questions with response times."""
+    run = run_ganswer()
+    result = ExperimentResult(
+        "table11",
+        "Table 11 — correctly answered questions with response time "
+        "(paper: 32 questions, 250–2565 ms on DBpedia)",
+        ["id", "question", "response time (ms)"],
+    )
+    for outcome in run.right_questions():
+        result.rows.append(
+            [
+                f"Q{outcome.question.qid}",
+                outcome.question.text,
+                round(outcome.total_time * 1000, 2),
+            ]
+        )
+    measured = {outcome.question.qid for outcome in run.right_questions()}
+    expected = set(paper.TABLE11_QUESTION_IDS)
+    overlap = len(measured & expected)
+    result.notes.append(
+        f"{overlap}/32 of the paper's Table 11 question ids answered "
+        "correctly by the reproduction"
+    )
+    return result

@@ -1,0 +1,28 @@
+"""Entity linking: map argument phrases to entities/classes with confidence.
+
+The paper uses the DBpedia Lookup service for this step (Section 4.2.1) and
+deliberately keeps the result *ambiguous* — "Philadelphia" links to the
+city, the film, and the 76ers, each with a confidence probability, and the
+graph match later decides which one was meant.  This package is the local
+equivalent: an inverted index over the knowledge graph's labels plus string
+similarity and prominence scoring.
+
+    from repro.linking import EntityLinker
+
+    linker = EntityLinker(kg)
+    for candidate in linker.link("Philadelphia"):
+        print(candidate.node_id, candidate.score, candidate.is_class)
+"""
+
+from repro.linking.similarity import dice_coefficient, jaccard_words, normalized_edit_similarity
+from repro.linking.index import LabelIndex
+from repro.linking.linker import EntityLinker, LinkCandidate
+
+__all__ = [
+    "dice_coefficient",
+    "jaccard_words",
+    "normalized_edit_similarity",
+    "LabelIndex",
+    "EntityLinker",
+    "LinkCandidate",
+]

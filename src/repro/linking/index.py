@@ -1,0 +1,114 @@
+"""Inverted label index over a knowledge graph.
+
+Indexes every ``rdfs:label`` (falling back to IRI local names) of every
+graph node, normalized, plus a word-level posting list so multi-word and
+partial phrases retrieve candidates cheaply.  Parenthetical disambiguators
+("Philadelphia (film)") are stripped from the *key* but kept on the entry,
+which is exactly what makes "Philadelphia" ambiguous — three nodes share
+the normalized key.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.nlp.lemmatizer import lemmatize_noun
+from repro.rdf.graph import KnowledgeGraph
+
+_PAREN_RE = re.compile(r"\s*\([^)]*\)")
+_NON_WORD_RE = re.compile(r"[^a-z0-9 ]+")
+
+
+def normalize_label(label: str) -> str:
+    """Normalization applied to both index keys and query phrases."""
+    text = _PAREN_RE.sub("", label.lower())
+    text = text.replace("_", " ").replace("-", " ").replace(".", "")
+    text = _NON_WORD_RE.sub(" ", text)
+    return " ".join(text.split())
+
+
+@dataclass(frozen=True, slots=True)
+class IndexEntry:
+    """One (node, label) pair in the index."""
+
+    node_id: int
+    label: str
+    normalized: str
+    is_class: bool
+
+
+class LabelIndex:
+    """Exact and word-overlap retrieval over graph node labels."""
+
+    def __init__(self, kg: KnowledgeGraph):
+        self.kg = kg
+        self._exact: dict[str, list[IndexEntry]] = {}
+        self._by_word: dict[str, set[int]] = {}  # word → entry positions
+        self._entries: list[IndexEntry] = []
+        self._build()
+
+    def _build(self) -> None:
+        store = self.kg.store
+        for node_id in sorted(store.node_ids()):
+            labels = self.kg.all_labels(node_id)
+            if not labels:
+                fallback = self.kg.label_of(node_id)
+                labels = [fallback] if fallback else []
+            is_class = self.kg.is_class(node_id)
+            for label in labels:
+                self._add_entry(node_id, label, is_class)
+        # Short name-like literals are linkable too: "Who was called
+        # Scarface?" must link the phrase to the alias literal itself.
+        structural = self.kg.structural_predicate_ids
+        for sid, pid, oid in store.triples_ids():
+            if pid in structural or not store.is_literal_id(oid):
+                continue
+            lexical = str(store.dictionary.decode(oid))
+            if 0 < len(lexical.split()) <= 4 and not lexical[:1].isdigit():
+                self._add_entry(oid, lexical, is_class=False)
+
+    def _add_entry(self, node_id: int, label: str, is_class: bool) -> None:
+        normalized = normalize_label(label)
+        if not normalized:
+            return
+        entry = IndexEntry(node_id, label, normalized, is_class)
+        if any(e.node_id == node_id for e in self._exact.get(normalized, ())):
+            return
+        position = len(self._entries)
+        self._entries.append(entry)
+        self._exact.setdefault(normalized, []).append(entry)
+        for word in set(normalized.split()):
+            self._by_word.setdefault(word, set()).add(position)
+            # Index the singular form too, so "films" finds "film".
+            singular = lemmatize_noun(word)
+            if singular != word:
+                self._by_word.setdefault(singular, set()).add(position)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def exact(self, phrase: str) -> list[IndexEntry]:
+        """Entries whose normalized label equals the normalized phrase.
+
+        Tries the phrase as-is and with its head word singularised
+        ("movies" → "movie")."""
+        normalized = normalize_label(phrase)
+        found = list(self._exact.get(normalized, ()))
+        words = normalized.split()
+        if words:
+            singular = " ".join(words[:-1] + [lemmatize_noun(words[-1])])
+            if singular != normalized:
+                found.extend(self._exact.get(singular, ()))
+        return found
+
+    def by_words(self, phrase: str) -> list[IndexEntry]:
+        """Entries sharing at least one word with the phrase."""
+        normalized = normalize_label(phrase)
+        positions: set[int] = set()
+        for word in set(normalized.split()):
+            positions |= self._by_word.get(word, set())
+            singular = lemmatize_noun(word)
+            if singular != word:
+                positions |= self._by_word.get(singular, set())
+        return [self._entries[position] for position in sorted(positions)]

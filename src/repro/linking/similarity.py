@@ -1,0 +1,67 @@
+"""String similarity measures used by the entity linker.
+
+Three standard measures, each in [0, 1]:
+
+* character-bigram Dice coefficient — robust to word order and small edits,
+  the primary surface-similarity signal;
+* word-set Jaccard — catches multi-word partial matches ("Queen Elizabeth
+  II" vs "Elizabeth II");
+* normalized Levenshtein similarity — a tie-breaker for near-identical
+  strings.
+"""
+
+from __future__ import annotations
+
+
+def _bigrams(text: str) -> set[str]:
+    padded = f" {text} "
+    return {padded[i : i + 2] for i in range(len(padded) - 1)}
+
+
+def dice_coefficient(left: str, right: str) -> float:
+    """Dice coefficient over character bigrams of the lowercased strings."""
+    if not left or not right:
+        return 0.0
+    left_grams = _bigrams(left.lower())
+    right_grams = _bigrams(right.lower())
+    overlap = len(left_grams & right_grams)
+    return 2.0 * overlap / (len(left_grams) + len(right_grams))
+
+
+def jaccard_words(left: str, right: str) -> float:
+    """Jaccard similarity of the lowercased word sets."""
+    left_words = set(left.lower().split())
+    right_words = set(right.lower().split())
+    if not left_words or not right_words:
+        return 0.0
+    return len(left_words & right_words) / len(left_words | right_words)
+
+
+def normalized_edit_similarity(left: str, right: str) -> float:
+    """1 - (Levenshtein distance / max length), on lowercased strings."""
+    a, b = left.lower(), right.lower()
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    if len(a) > len(b):
+        a, b = b, a
+    previous = list(range(len(a) + 1))
+    for j, char_b in enumerate(b, start=1):
+        current = [j]
+        for i, char_a in enumerate(a, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(
+                min(previous[i] + 1, current[i - 1] + 1, previous[i - 1] + cost)
+            )
+        previous = current
+    return 1.0 - previous[len(a)] / len(b)
+
+
+def combined_similarity(left: str, right: str) -> float:
+    """Weighted blend of the three measures (weights sum to 1)."""
+    return (
+        0.5 * dice_coefficient(left, right)
+        + 0.3 * jaccard_words(left, right)
+        + 0.2 * normalized_edit_similarity(left, right)
+    )

@@ -1,0 +1,38 @@
+"""Subgraph matching substrate for semantic query graphs.
+
+Implements the query-evaluation machinery of Section 4.2.2 in three layers:
+
+* :mod:`repro.match.candidates` — the candidate space: per query vertex a
+  confidence-ranked list of entities/classes (or a wh wildcard), per query
+  edge a confidence-ranked list of signed predicate paths;
+* :mod:`repro.match.pruning` — neighborhood-based pruning: a vertex
+  candidate with no incident predicate compatible with some adjacent query
+  edge cannot participate in any match and is dropped;
+* :mod:`repro.match.matcher` — VF2-style exploration from a seed binding,
+  enumerating subgraph matches per Definition 3 (entity candidates bind
+  exactly; class candidates bind any instance; edges accept either
+  orientation via their signed paths).
+"""
+
+from repro.match.candidates import (
+    CandidateSpace,
+    EdgeCandidate,
+    QueryEdge,
+    QueryVertex,
+    VertexCandidate,
+)
+from repro.match.pruning import neighborhood_prune
+from repro.match.matcher import GraphMatch, SubgraphMatcher
+from repro.match.validation import validate_match
+
+__all__ = [
+    "validate_match",
+    "CandidateSpace",
+    "EdgeCandidate",
+    "QueryEdge",
+    "QueryVertex",
+    "VertexCandidate",
+    "neighborhood_prune",
+    "GraphMatch",
+    "SubgraphMatcher",
+]

@@ -1,0 +1,103 @@
+"""Neighborhood-based pruning (Section 4.2.2, first pruning method).
+
+A vertex candidate u for query vertex v can only participate in a match if,
+for every query edge incident to v, u has an incident predicate that some
+candidate path of that edge can start (or end) with, in a compatible
+direction.  Candidates failing this test — like u₅ in the paper's Figure 2,
+which has no adjacent predicate mapping "play in" — are dropped before the
+expensive search.
+
+Class candidates are checked against the union of their instances'
+neighbourhoods (any instance with a compatible edge keeps the class alive).
+"""
+
+from __future__ import annotations
+
+from repro.match.candidates import CandidateSpace, QueryEdge, VertexCandidate
+from repro.rdf.graph import Direction, KnowledgeGraph, step_is_forward, step_predicate
+
+
+def _required_first_steps(edge: QueryEdge) -> set[tuple[int, Direction]]:
+    """(predicate, direction) pairs that can start the edge's candidate
+    paths when walked outward from either endpoint.
+
+    Definition 3 accepts either edge orientation, which makes this set
+    symmetric in the endpoints: outward from one end the path starts with
+    its first step, from the other with its reversed last step.
+    """
+    required: set[tuple[int, Direction]] = set()
+    for candidate in edge.candidates:
+        if not candidate.path:
+            continue
+        outward_steps = (
+            (candidate.path[0], True),      # orientation as mined
+            (candidate.path[-1], False),    # flipped orientation
+        )
+        for step, as_mined in outward_steps:
+            forward = step_is_forward(step)
+            if not as_mined:
+                forward = not forward  # walking the path from the far end
+            direction = Direction.OUT if forward else Direction.IN
+            required.add((step_predicate(step), direction))
+    return required
+
+
+def _node_satisfies(
+    kg: KnowledgeGraph, node_id: int, required: set[tuple[int, Direction]]
+) -> bool:
+    if not required:
+        return False
+    incident = kg.incident_predicates(node_id)
+    # Literal-valued edges are not in incident_predicates' undirected view;
+    # check outgoing structural-free predicates directly.
+    return bool(incident & required) or _literal_edge_satisfies(kg, node_id, required)
+
+
+def _literal_edge_satisfies(
+    kg: KnowledgeGraph, node_id: int, required: set[tuple[int, Direction]]
+) -> bool:
+    for edge in kg.edges(node_id, include_structural=False, include_literals=True):
+        if (edge.predicate, edge.direction) in required:
+            return True
+    return False
+
+
+def _candidate_alive(
+    kg: KnowledgeGraph,
+    candidate: VertexCandidate,
+    required_per_edge: list[set[tuple[int, Direction]]],
+) -> bool:
+    if candidate.is_class:
+        instances = kg.instances_of(candidate.node_id)
+        return any(
+            all(_node_satisfies(kg, instance, required) for required in required_per_edge)
+            for instance in instances
+        )
+    return all(
+        _node_satisfies(kg, candidate.node_id, required)
+        for required in required_per_edge
+    )
+
+
+def neighborhood_prune(kg: KnowledgeGraph, space: CandidateSpace) -> int:
+    """Prune vertex candidates in place; returns the number removed.
+
+    Safe: only candidates that provably cannot appear in any match are
+    dropped, so top-k results are unchanged.
+    """
+    removed = 0
+    for vertex in space.vertices.values():
+        if vertex.wildcard or not vertex.candidates:
+            continue
+        incident_edges = space.edges_of(vertex.vertex_id)
+        if not incident_edges:
+            continue
+        required_per_edge = [_required_first_steps(edge) for edge in incident_edges]
+        kept = [
+            candidate
+            for candidate in vertex.candidates
+            if _candidate_alive(kg, candidate, required_per_edge)
+        ]
+        removed += len(vertex.candidates) - len(kept)
+        vertex.candidates = kept
+    return removed

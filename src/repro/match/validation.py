@@ -1,0 +1,99 @@
+"""Independent validation of matches against Definition 3.
+
+The matcher is search-optimised; this module re-checks its output from
+first principles, condition by condition:
+
+1. a vertex mapped under an entity candidate binds exactly that node;
+2. a vertex mapped under a class candidate binds an *instance* of the
+   class;
+3. every query edge is realised by one of its candidate paths, in either
+   orientation, between the bound endpoints;
+plus injectivity (a subgraph has distinct vertices) and score correctness
+(Definition 6: the sum of log confidences).
+
+Used by tests and property-based checks; also handy for debugging custom
+candidate spaces.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.match.candidates import CandidateSpace
+from repro.match.matcher import GraphMatch, _MIN_CONFIDENCE
+from repro.rdf.graph import KnowledgeGraph, reverse_path
+
+
+def validate_match(
+    kg: KnowledgeGraph, space: CandidateSpace, match: GraphMatch
+) -> list[str]:
+    """All Definition 3 violations of a match (empty list = valid)."""
+    problems: list[str] = []
+    bindings = dict(match.bindings)
+    confidences = dict(match.vertex_confidences)
+
+    if set(bindings) != set(space.vertices):
+        problems.append("bindings do not cover exactly the query vertices")
+    if len(set(bindings.values())) != len(bindings):
+        problems.append("bindings are not injective")
+
+    for vertex_id, node in bindings.items():
+        vertex = space.vertices.get(vertex_id)
+        if vertex is None:
+            continue
+        confidence = confidences.get(vertex_id)
+        if vertex.wildcard:
+            if vertex.wildcard_filter is not None and not vertex.wildcard_filter(node):
+                problems.append(f"vertex {vertex_id}: wildcard filter rejects node")
+            if confidence != 1.0:
+                problems.append(f"vertex {vertex_id}: wildcard confidence must be 1.0")
+            continue
+        admitted = []
+        for candidate in vertex.candidates:
+            if candidate.is_class:
+                if not kg.store.is_literal_id(node) and kg.has_type(node, candidate.node_id):
+                    admitted.append(candidate.confidence)
+            elif candidate.node_id == node:
+                admitted.append(candidate.confidence)
+        if not admitted:
+            problems.append(
+                f"vertex {vertex_id}: node not admitted by any candidate "
+                "(Definition 3 conditions 1–2)"
+            )
+        elif confidence is None or not math.isclose(confidence, max(admitted)):
+            problems.append(
+                f"vertex {vertex_id}: recorded confidence {confidence} is not "
+                f"the best admitting candidate's {max(admitted)}"
+            )
+
+    assignments = {index: (path, conf) for index, path, conf in match.edge_assignments}
+    for index, edge in enumerate(space.edges):
+        if index not in assignments:
+            problems.append(f"edge {index}: no path assignment")
+            continue
+        path, confidence = assignments[index]
+        allowed = {c.path: c.confidence for c in edge.candidates}
+        mined = path if path in allowed else reverse_path(path)
+        if mined not in allowed:
+            problems.append(f"edge {index}: assigned path is not a candidate")
+            continue
+        source = bindings.get(edge.source)
+        target = bindings.get(edge.target)
+        if source is None or target is None:
+            continue
+        if not kg.path_connects(source, target, path):
+            problems.append(
+                f"edge {index}: path does not connect the bound endpoints "
+                "(Definition 3 condition 3)"
+            )
+
+    expected_score = sum(
+        math.log(max(conf, _MIN_CONFIDENCE)) for conf in confidences.values()
+    ) + sum(
+        math.log(max(conf, _MIN_CONFIDENCE)) for _p, conf in assignments.values()
+    )
+    if not math.isclose(expected_score, match.score, abs_tol=1e-9):
+        problems.append(
+            f"score {match.score} differs from Definition 6 sum {expected_score}"
+        )
+    return problems

@@ -1,0 +1,44 @@
+"""NLP substrate: tokenizer, POS tagger, dependency parser for questions.
+
+The paper uses the Stanford parser as a black box to obtain a dependency
+tree (Section 4.1).  This package is the from-scratch equivalent for the
+benchmark's question English: a tokenizer, a lexicon + suffix-rule POS
+tagger, a rule-based lemmatizer, and a deterministic dependency parser that
+emits Stanford-typed dependencies (nsubj, nsubjpass, dobj, pobj, poss,
+prep, det, ...) — exactly the relations Section 4.1.2's argument-finding
+rules inspect.
+
+    from repro.nlp import parse_question
+
+    tree = parse_question("Who was married to an actor that played in Philadelphia?")
+    tree.root.word            # 'married'
+    tree.find_nodes(deprel="nsubjpass")
+"""
+
+from repro.nlp.tokenizer import Token, tokenize
+from repro.nlp.tagger import PosTagger, tag
+from repro.nlp.lemmatizer import lemmatize
+from repro.nlp.dependency import DependencyNode, DependencyTree
+from repro.nlp.dep_parser import DependencyParser, parse_question
+from repro.nlp.questions import (
+    AggregationKind,
+    QuestionAnalysis,
+    QuestionType,
+    analyze_question,
+)
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "PosTagger",
+    "tag",
+    "lemmatize",
+    "DependencyNode",
+    "DependencyTree",
+    "DependencyParser",
+    "parse_question",
+    "AggregationKind",
+    "QuestionAnalysis",
+    "QuestionType",
+    "analyze_question",
+]

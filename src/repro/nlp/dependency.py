@@ -1,0 +1,169 @@
+"""Dependency tree structures (Stanford-typed dependencies).
+
+A :class:`DependencyTree` is what the paper calls ``Y`` (Table 1): nodes are
+the words of the question, edges carry grammatical relations.  Algorithm 2
+walks it top-down to find relation-phrase embeddings; Section 4.1.2's rules
+read the edge labels to attach arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.nlp.tokenizer import Token
+
+#: The subject-like grammatical relations of Section 4.1.2.
+SUBJECT_RELATIONS = frozenset(
+    {"subj", "nsubj", "nsubjpass", "csubj", "csubjpass", "xsubj", "poss"}
+)
+#: The object-like grammatical relations of Section 4.1.2.
+OBJECT_RELATIONS = frozenset({"obj", "pobj", "dobj", "iobj"})
+
+
+@dataclass(slots=True, eq=False)  # identity equality/hash: nodes are unique
+class DependencyNode:
+    """One word in the dependency tree."""
+
+    token: Token
+    deprel: str = "dep"
+    head: "DependencyNode | None" = None
+    children: list["DependencyNode"] = field(default_factory=list)
+
+    @property
+    def word(self) -> str:
+        return self.token.text
+
+    @property
+    def lower(self) -> str:
+        return self.token.lower
+
+    @property
+    def lemma(self) -> str:
+        return self.token.lemma
+
+    @property
+    def pos(self) -> str:
+        return self.token.pos
+
+    @property
+    def index(self) -> int:
+        return self.token.index
+
+    def __repr__(self) -> str:
+        return f"DependencyNode({self.word}/{self.pos}, {self.deprel})"
+
+    def descendants(self) -> Iterator["DependencyNode"]:
+        """All nodes strictly below this one (pre-order)."""
+        for child in self.children:
+            yield child
+            yield from child.descendants()
+
+    def subtree(self) -> Iterator["DependencyNode"]:
+        """This node plus all descendants (pre-order)."""
+        yield self
+        yield from self.descendants()
+
+    def is_nominal(self) -> bool:
+        return self.pos.startswith("NN") or self.pos in ("PRP", "WP", "WDT", "CD")
+
+    def is_wh(self) -> bool:
+        return self.pos in ("WP", "WP$", "WDT", "WRB")
+
+    def phrase(self) -> str:
+        """The noun phrase headed by this node: its compound/adjective/
+        determinerless modifiers plus itself, in sentence order.
+
+        Possessors are excluded — in "Margaret Thatcher's children" the
+        possessor is its own argument, not part of the head's mention.
+        """
+        keep = {self}
+        for child in self.children:
+            if child.deprel in ("nn", "amod", "num") and abs(
+                child.index - self.index
+            ) <= 4:
+                keep.add(child)
+                for grandchild in child.children:
+                    if grandchild.deprel == "nn":
+                        keep.add(grandchild)
+        ordered = sorted(keep, key=lambda node: node.index)
+        return " ".join(node.word for node in ordered)
+
+
+class DependencyTree:
+    """A rooted dependency tree over the tokens of one question."""
+
+    def __init__(self, root: DependencyNode, nodes: list[DependencyNode]):
+        self.root = root
+        self.nodes = nodes  # in sentence order, punctuation excluded
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[DependencyNode]:
+        return iter(self.nodes)
+
+    def node_at(self, index: int) -> DependencyNode | None:
+        """The node whose token index is ``index`` (None for punctuation)."""
+        for node in self.nodes:
+            if node.index == index:
+                return node
+        return None
+
+    def find_nodes(
+        self, word: str | None = None, deprel: str | None = None, pos: str | None = None
+    ) -> list[DependencyNode]:
+        """Nodes matching all given criteria (word matches lowercased)."""
+        found = []
+        for node in self.nodes:
+            if word is not None and node.lower != word.lower():
+                continue
+            if deprel is not None and node.deprel != deprel:
+                continue
+            if pos is not None and node.pos != pos:
+                continue
+            found.append(node)
+        return found
+
+    def edges(self) -> Iterator[tuple[DependencyNode, str, DependencyNode]]:
+        """(head, relation, dependent) for every edge."""
+        for node in self.nodes:
+            if node.head is not None:
+                yield (node.head, node.deprel, node)
+
+    def to_text(self) -> str:
+        """Indented rendering for debugging and doctests."""
+        lines: list[str] = []
+
+        def render(node: DependencyNode, depth: int) -> None:
+            lines.append(f"{'  ' * depth}{node.word}/{node.pos} ({node.deprel})")
+            for child in sorted(node.children, key=lambda n: n.index):
+                render(child, depth + 1)
+
+        render(self.root, 0)
+        return "\n".join(lines)
+
+    def validate(self) -> None:
+        """Structural sanity checks: single root, acyclic, consistent links."""
+        roots = [node for node in self.nodes if node.head is None]
+        if roots != [self.root]:
+            raise ValueError(f"tree must have exactly one root, found {len(roots)}")
+        seen: set[int] = set()
+        for node in self.root.subtree():
+            if id(node) in seen:
+                raise ValueError("cycle detected in dependency tree")
+            seen.add(id(node))
+            for child in node.children:
+                if child.head is not node:
+                    raise ValueError(f"inconsistent head link at {child!r}")
+        if len(seen) != len(self.nodes):
+            raise ValueError("tree does not span all nodes")
+
+
+def attach(child: DependencyNode, head: DependencyNode, deprel: str) -> None:
+    """Attach ``child`` under ``head`` with the given relation."""
+    if child.head is not None:
+        child.head.children.remove(child)
+    child.head = head
+    child.deprel = deprel
+    head.children.append(child)

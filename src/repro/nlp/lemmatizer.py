@@ -1,0 +1,134 @@
+"""Rule-based English lemmatizer with irregular-form tables.
+
+Handles the inflectional morphology the pipeline needs: verb tense forms
+(-s, -ed, -ing with e-restoration and consonant-doubling undone), noun
+plurals, and the irregular verbs/nouns in the lexicon.  The lemma of a word
+depends on its POS tag, so :func:`lemmatize` takes the tag when known.
+"""
+
+from __future__ import annotations
+
+from repro.nlp import lexicon
+
+_VOWELS = set("aeiou")
+
+_IRREGULAR_VERB_LEMMAS = {form: base for form, (base, _tag) in lexicon.IRREGULAR_VERBS.items()}
+_IRREGULAR_VERB_LEMMAS.update(
+    {
+        "is": "be", "am": "be", "are": "be", "was": "be", "were": "be",
+        "been": "be", "being": "be",
+        "has": "have", "had": "have", "having": "have",
+        "does": "do", "did": "do", "done": "do", "doing": "do",
+    }
+)
+
+
+def _strip_ed(word: str) -> str:
+    stem = word[:-2]
+    # "starred" → "starr" → "star"; "married" handled by -ied rule below.
+    if len(stem) >= 3 and stem[-1] == stem[-2] and stem[-1] not in _VOWELS:
+        # Undo consonant doubling unless the base legitimately ends doubled
+        # ("pass", "tell" are irregular anyway).
+        candidate = stem[:-1]
+        if candidate in lexicon.VERB_BASES:
+            return candidate
+        if stem in lexicon.VERB_BASES:
+            return stem
+        return candidate
+    if stem in lexicon.VERB_BASES:
+        return stem
+    # e-restoration: "produced" → "produc" → "produce".
+    if stem + "e" in lexicon.VERB_BASES:
+        return stem + "e"
+    # Unknown verb: prefer the bare stem ("asked" → "ask").
+    return stem
+
+
+def _strip_ing(word: str) -> str:
+    stem = word[:-3]
+    if len(stem) >= 3 and stem[-1] == stem[-2] and stem[-1] not in _VOWELS:
+        candidate = stem[:-1]
+        if candidate in lexicon.VERB_BASES:
+            return candidate
+        if stem in lexicon.VERB_BASES:
+            return stem
+        return candidate
+    if stem in lexicon.VERB_BASES:
+        return stem
+    if stem + "e" in lexicon.VERB_BASES:
+        return stem + "e"
+    return stem
+
+
+def lemmatize_verb(word: str) -> str:
+    lowered = word.lower()
+    if lowered in _IRREGULAR_VERB_LEMMAS:
+        return _IRREGULAR_VERB_LEMMAS[lowered]
+    if lowered in lexicon.VERB_BASES:
+        return lowered
+    if lowered.endswith("ied") and len(lowered) > 4:
+        return lowered[:-3] + "y"  # married → marry
+    if lowered.endswith("ed") and len(lowered) > 3:
+        return _strip_ed(lowered)
+    if lowered.endswith("ing") and len(lowered) > 4:
+        return _strip_ing(lowered)
+    if lowered.endswith("ies") and len(lowered) > 4:
+        if lowered[:-1] in lexicon.VERB_BASES:
+            return lowered[:-1]  # "dies" → "die"
+        return lowered[:-3] + "y"
+    if lowered.endswith(("ses", "xes", "zes", "ches", "shes")):
+        return lowered[:-2]
+    if lowered.endswith("s") and not lowered.endswith("ss") and len(lowered) > 2:
+        return lowered[:-1]
+    return lowered
+
+
+def lemmatize_noun(word: str) -> str:
+    lowered = word.lower()
+    if lowered in lexicon.IRREGULAR_NOUN_PLURALS:
+        return lexicon.IRREGULAR_NOUN_PLURALS[lowered]
+    if lowered in lexicon.NOUNS:
+        return lowered
+    if lowered.endswith("ies") and len(lowered) > 4:
+        # "movies" → "movie" (known base) vs "cities" → "city".
+        if lowered[:-1] in lexicon.NOUNS:
+            return lowered[:-1]
+        return lowered[:-3] + "y"
+    if lowered.endswith(("ses", "xes", "zes", "ches", "shes")):
+        return lowered[:-2]
+    if lowered.endswith("s") and not lowered.endswith(("ss", "us", "is")) and len(lowered) > 2:
+        return lowered[:-1]
+    return lowered
+
+
+def lemmatize_adjective(word: str) -> str:
+    lowered = word.lower()
+    if lowered in lexicon.SUPERLATIVES:
+        return lexicon.SUPERLATIVES[lowered]
+    if lowered in lexicon.COMPARATIVES:
+        return lexicon.COMPARATIVES[lowered]
+    return lowered
+
+
+def lemmatize(word: str, pos: str | None = None) -> str:
+    """Lemmatize ``word`` given its Penn tag (or best-effort when None).
+
+    Proper nouns keep their surface form (case included) so entity phrases
+    survive intact; everything else lowercases.
+    """
+    if pos is None:
+        lowered = word.lower()
+        if lowered in _IRREGULAR_VERB_LEMMAS:
+            return _IRREGULAR_VERB_LEMMAS[lowered]
+        if lowered in lexicon.IRREGULAR_NOUN_PLURALS:
+            return lexicon.IRREGULAR_NOUN_PLURALS[lowered]
+        return lemmatize_noun(lowered)
+    if pos.startswith("NNP"):
+        return word
+    if pos.startswith("V") or pos == "MD":
+        return lemmatize_verb(word)
+    if pos.startswith("N"):
+        return lemmatize_noun(word)
+    if pos.startswith("J") or pos.startswith("RB"):
+        return lemmatize_adjective(word)
+    return word.lower()

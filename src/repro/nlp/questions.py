@@ -1,0 +1,97 @@
+"""Question-level analysis: wh-type, answer form, aggregation detection.
+
+The paper's failure analysis (Table 10) singles out *aggregation questions*
+("Who is the youngest player in the Premier League?") as a class its method
+cannot answer — they need SPARQL ``ORDER BY DESC(...) LIMIT 1`` style
+post-processing.  This module detects that class (plus yes/no and counting
+questions) so the pipeline and the evaluation harness can classify outcomes
+the way Table 10 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.nlp import lexicon
+from repro.nlp.tagger import tag
+from repro.nlp.tokenizer import Token
+
+
+class QuestionType(Enum):
+    """What kind of answer the question expects."""
+
+    ENTITY = "entity"          # who/what/which X
+    PLACE = "place"            # where
+    TIME = "time"              # when
+    QUANTITY = "quantity"      # how many / how much / how tall
+    YESNO = "yesno"            # is/are/did/does ...
+    LIST = "list"              # give me / list / show all ...
+
+
+class AggregationKind(Enum):
+    NONE = "none"
+    SUPERLATIVE = "superlative"  # youngest, largest, most
+    COUNT = "count"              # how many
+
+
+@dataclass(frozen=True, slots=True)
+class QuestionAnalysis:
+    """The surface-level classification of one question."""
+
+    question_type: QuestionType
+    aggregation: AggregationKind
+    wh_word: str | None
+
+    @property
+    def is_aggregation(self) -> bool:
+        return self.aggregation is not AggregationKind.NONE
+
+
+_IMPERATIVE_OPENERS = {"give", "list", "show", "name", "tell"}
+_YESNO_OPENERS = (
+    lexicon.BE_FORMS | lexicon.DO_FORMS | lexicon.HAVE_FORMS | lexicon.MODALS
+)
+
+
+def analyze_question(question: str | list[Token]) -> QuestionAnalysis:
+    """Classify a question by its expected answer form and aggregation."""
+    tokens = tag(question) if isinstance(question, str) else question
+    words = [t.lower for t in tokens if t.pos not in (".", ",")]
+    if not words:
+        return QuestionAnalysis(QuestionType.ENTITY, AggregationKind.NONE, None)
+
+    aggregation = AggregationKind.NONE
+    if any(word in lexicon.SUPERLATIVES for word in words):
+        aggregation = AggregationKind.SUPERLATIVE
+    if len(words) >= 2 and words[0] == "how" and words[1] in ("many", "much"):
+        aggregation = AggregationKind.COUNT
+
+    wh_word = next(
+        (
+            word
+            for word in words
+            if word in lexicon.WH_PRONOUNS
+            or word in lexicon.WH_ADVERBS
+            or word in lexicon.WH_DETERMINERS
+            or word in lexicon.WH_POSSESSIVE
+        ),
+        None,
+    )
+
+    first = words[0]
+    if first in _IMPERATIVE_OPENERS:
+        question_type = QuestionType.LIST
+    elif first == "where":
+        question_type = QuestionType.PLACE
+    elif first == "when":
+        question_type = QuestionType.TIME
+    elif first == "how":
+        question_type = QuestionType.QUANTITY
+    elif wh_word is not None:
+        question_type = QuestionType.ENTITY
+    elif first in _YESNO_OPENERS:
+        question_type = QuestionType.YESNO
+    else:
+        question_type = QuestionType.ENTITY
+    return QuestionAnalysis(question_type, aggregation, wh_word)

@@ -1,0 +1,289 @@
+"""Lexicon + rule POS tagger for question English.
+
+Two passes: a lexical pass assigns each token its most likely Penn tag from
+the lexicon / morphology, then a contextual pass fixes the ambiguities that
+matter for parsing questions (that/WDT vs DT vs IN, VBD vs VBN after an
+auxiliary or in reduced relatives, noun/verb homographs like "play",
+"name", "star").
+"""
+
+from __future__ import annotations
+
+from repro.nlp import lexicon
+from repro.nlp.lemmatizer import lemmatize
+from repro.nlp.tokenizer import Token, tokenize
+
+_BE_TAGS = {
+    "be": "VB", "am": "VBP", "is": "VBZ", "are": "VBP", "was": "VBD",
+    "were": "VBD", "been": "VBN", "being": "VBG",
+}
+_HAVE_TAGS = {"have": "VBP", "has": "VBZ", "had": "VBD", "having": "VBG"}
+_DO_TAGS = {"do": "VBP", "does": "VBZ", "did": "VBD", "done": "VBN",
+            "doing": "VBG"}
+
+_NOUN_TAGS = {"NN", "NNS", "NNP", "NNPS"}
+_VERB_TAGS = {"VB", "VBP", "VBZ", "VBD", "VBN", "VBG"}
+
+#: Verb bases that are also common nouns; resolved by context.
+_NOUN_VERB_HOMOGRAPHS = (lexicon.VERB_BASES & lexicon.NOUNS) | {"star", "play"}
+
+
+class PosTagger:
+    """Deterministic POS tagger; stateless, safe to share."""
+
+    def tag(self, tokens: list[Token]) -> list[Token]:
+        """Assign ``pos`` and ``lemma`` to every token, in place."""
+        for i, token in enumerate(tokens):
+            token.pos = self._lexical_tag(token, is_first=(i == 0))
+        self._contextual_pass(tokens)
+        for token in tokens:
+            token.lemma = lemmatize(token.text, token.pos)
+        return tokens
+
+    # ------------------------------------------------------------------ #
+    # Pass 1: lexical
+    # ------------------------------------------------------------------ #
+
+    def _lexical_tag(self, token: Token, is_first: bool) -> str:
+        text = token.text
+        lowered = text.lower()
+
+        if text in "?.!":
+            return "."
+        if text in ",;:()\"'":
+            return ","
+        if lowered == "'s":
+            return "POS"  # possessive clitic
+        if text.replace(".", "").replace("-", "").isdigit():
+            return "CD"
+
+        closed = self._closed_class_tag(lowered)
+        if closed is not None:
+            return closed
+
+        open_tag = self._open_class_tag(lowered)
+        if open_tag is not None:
+            # Capitalized mid-sentence words are names even when the
+            # lowercase form is a common word ("Prodigy", "Premier League").
+            if text[0].isupper() and not is_first:
+                return "NNP"
+            return open_tag
+
+        if text[0].isupper():
+            return "NNP"
+        return self._suffix_tag(lowered)
+
+    @staticmethod
+    def _closed_class_tag(lowered: str) -> str | None:
+        if lowered in lexicon.WH_PRONOUNS:
+            return "WP"
+        if lowered in lexicon.WH_POSSESSIVE:
+            return "WP$"
+        if lowered in lexicon.WH_DETERMINERS:
+            return "WDT"
+        if lowered in lexicon.WH_ADVERBS:
+            return "WRB"
+        if lowered == "that":
+            return "DT"  # refined contextually
+        if lowered in lexicon.DETERMINERS:
+            return "DT"
+        if lowered == "to":
+            return "TO"
+        if lowered in lexicon.PREPOSITIONS:
+            return "IN"
+        if lowered in lexicon.CONJUNCTIONS:
+            return "CC"
+        if lowered in lexicon.MODALS:
+            return "MD"
+        if lowered in _BE_TAGS:
+            return _BE_TAGS[lowered]
+        if lowered in _HAVE_TAGS:
+            return _HAVE_TAGS[lowered]
+        if lowered in _DO_TAGS:
+            return _DO_TAGS[lowered]
+        if lowered in lexicon.NEGATION:
+            return "RB"
+        if lowered in lexicon.POSSESSIVE_PRONOUNS:
+            return "PRP$"
+        if lowered in lexicon.PERSONAL_PRONOUNS:
+            return "PRP"
+        if lowered in lexicon.EXISTENTIAL:
+            return "EX"
+        return None
+
+    @staticmethod
+    def _open_class_tag(lowered: str) -> str | None:
+        if lowered in lexicon.IRREGULAR_VERBS:
+            return lexicon.IRREGULAR_VERBS[lowered][1]
+        if lowered in lexicon.IRREGULAR_NOUN_PLURALS:
+            return "NNS"
+        if lowered in lexicon.SUPERLATIVES:
+            return "JJS"
+        if lowered in lexicon.COMPARATIVES:
+            return "JJR"
+        if lowered in lexicon.ADJECTIVES:
+            return "JJ"
+        if lowered in lexicon.ADVERBS:
+            return "RB"
+        if lowered in lexicon.NOUNS:
+            return "NN"
+        if lowered in lexicon.VERB_BASES:
+            return "VB"
+        # Inflections of known verb bases.
+        base = lemmatize(lowered, "VB")
+        if base in lexicon.VERB_BASES and base != lowered:
+            if lowered.endswith("ing"):
+                return "VBG"
+            if lowered.endswith(("ed", "d")) and base != lowered:
+                return "VBD"
+            if lowered.endswith("s"):
+                return "VBZ"
+        # Plurals of known nouns.
+        noun_base = lemmatize(lowered, "NN")
+        if noun_base in lexicon.NOUNS and noun_base != lowered:
+            return "NNS"
+        return None
+
+    @staticmethod
+    def _suffix_tag(lowered: str) -> str:
+        if lowered.endswith("ly"):
+            return "RB"
+        if lowered.endswith("ing") and len(lowered) > 4:
+            return "VBG"
+        if lowered.endswith("ed") and len(lowered) > 3:
+            return "VBN"
+        if lowered.endswith("est") and len(lowered) > 4:
+            return "JJS"
+        if lowered.endswith(("ous", "ful", "ive", "ible", "able", "al", "ic")):
+            return "JJ"
+        if lowered.endswith("s") and not lowered.endswith("ss") and len(lowered) > 2:
+            return "NNS"
+        return "NN"
+
+    # ------------------------------------------------------------------ #
+    # Pass 2: contextual
+    # ------------------------------------------------------------------ #
+
+    def _contextual_pass(self, tokens: list[Token]) -> None:
+        has_do_aux = any(t.lower in ("do", "does", "did") for t in tokens)
+        for i, token in enumerate(tokens):
+            prev = tokens[i - 1] if i > 0 else None
+            nxt = tokens[i + 1] if i + 1 < len(tokens) else None
+
+            if token.lower == "that":
+                token.pos = self._disambiguate_that(prev, nxt)
+                continue
+
+            # her: PRP$ before a nominal, PRP otherwise.
+            if token.lower == "her":
+                token.pos = "PRP$" if nxt is not None and nxt.pos in _NOUN_TAGS else "PRP"
+                continue
+
+            # Noun/verb homographs: determiner or adjective context → noun;
+            # subject (noun phrase) immediately before → verb.
+            if token.lower in _NOUN_VERB_HOMOGRAPHS and token.pos in ("VB", "NN"):
+                if prev is not None and prev.pos in ("DT", "JJ", "JJS", "JJR", "PRP$", "CD"):
+                    token.pos = "NN"
+                elif prev is not None and (prev.pos in _NOUN_TAGS or prev.pos == "PRP"):
+                    if has_do_aux:
+                        token.pos = "VB"
+                    elif any(t.lower in _BE_TAGS for t in tokens[:i]):
+                        # Copular frame ("What is the birth name ..."): the
+                        # homograph after a noun is a compound head, not a
+                        # second verb.
+                        token.pos = "NN"
+                    else:
+                        token.pos = "VBP"
+                continue
+
+            # -s forms where both a verb and a noun reading exist: "films"
+            # is VBZ after a subject ("Tom Cruise films ...") but NNS in a
+            # noun phrase ("all Argentine films").
+            if token.pos in ("VBZ", "NNS") and self._s_form_ambiguous(token.lower):
+                if prev is None:
+                    token.pos = "NNS"
+                elif prev.pos in ("DT", "JJ", "JJS", "JJR", "PRP$", "CD", "WDT") or (
+                    prev.lower in lexicon.DEMONYMS
+                ):
+                    token.pos = "NNS"
+                elif prev.pos in _NOUN_TAGS or prev.pos in ("PRP", "WP"):
+                    token.pos = "VBZ"
+                continue
+
+            # VBD after a be/have auxiliary is a participle: "was married".
+            if token.pos == "VBD" and self._preceded_by_aux(tokens, i):
+                token.pos = "VBN"
+                continue
+
+            # Reduced passive relative: noun + VBD + "by" → participle
+            # ("movies directed by ...", "launch pads operated by NASA").
+            if (
+                token.pos == "VBD"
+                and prev is not None
+                and prev.pos in _NOUN_TAGS
+                and nxt is not None
+                and nxt.lower in ("by", "in", "at", "on", "for")
+            ):
+                token.pos = "VBN"
+                continue
+
+            # A base-form verb right after a do-auxiliary subject chain stays
+            # VB; a VBD with a do-auxiliary earlier is actually a base form
+            # mis-tagged ("did ... star"), keep as VB for parsing.
+            if token.pos == "VBD" and has_do_aux and token.lower in lexicon.VERB_BASES:
+                token.pos = "VB"
+
+    @staticmethod
+    def _s_form_ambiguous(lowered: str) -> bool:
+        """Does an -s form have both a known verb and a known noun base?"""
+        if not lowered.endswith("s"):
+            return False
+        verb_base = lemmatize(lowered, "VB")
+        noun_base = lemmatize(lowered, "NN")
+        return verb_base in lexicon.VERB_BASES and noun_base in lexicon.NOUNS
+
+    @staticmethod
+    def _preceded_by_aux(tokens: list[Token], i: int) -> bool:
+        """Is there a be/have auxiliary immediately left, skipping adverbs
+        and an intervening subject NP ("was she married")?"""
+        j = i - 1
+        while j >= 0:
+            lowered = tokens[j].lower
+            pos = tokens[j].pos
+            if lowered in _BE_TAGS or lowered in _HAVE_TAGS:
+                return True
+            # Skip adverbs and a full subject NP ("was the queen Juliana
+            # buried"); anything else (preposition, verb, wh) breaks the
+            # auxiliary-participle link.
+            if pos in ("RB",) or pos in _NOUN_TAGS or pos in ("DT", "JJ", "PRP", "PRP$", "CD"):
+                j -= 1
+                continue
+            # "of"-PPs occur inside subject NPs: "is the daughter of Bill
+            # Clinton married to?" — keep scanning for the auxiliary.
+            if lowered == "of":
+                j -= 1
+                continue
+            return False
+        return False
+
+    @staticmethod
+    def _disambiguate_that(prev: Token | None, nxt: Token | None) -> str:
+        # Relative pronoun after a nominal: "an actor that played ..."
+        if prev is not None and prev.pos in _NOUN_TAGS:
+            return "WDT"
+        # Determiner before a nominal: "that movie".
+        if nxt is not None and nxt.pos in _NOUN_TAGS | {"JJ"}:
+            return "DT"
+        return "IN"
+
+
+_DEFAULT_TAGGER = PosTagger()
+
+
+def tag(text_or_tokens) -> list[Token]:
+    """Tokenize (if given a string) and POS-tag a question."""
+    if isinstance(text_or_tokens, str):
+        tokens = tokenize(text_or_tokens)
+    else:
+        tokens = text_or_tokens
+    return _DEFAULT_TAGGER.tag(tokens)

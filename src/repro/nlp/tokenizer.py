@@ -1,0 +1,104 @@
+"""Tokenizer for English questions.
+
+Splits on whitespace and punctuation, keeps hyphenated and dotted proper
+names intact ("John F. Kennedy, Jr."), and expands the contractions that
+occur in questions ("what's" → "what is").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class Token:
+    """One surface token with its position in the question."""
+
+    text: str
+    index: int
+    pos: str = ""
+    lemma: str = ""
+
+    @property
+    def lower(self) -> str:
+        return self.text.lower()
+
+    def __str__(self) -> str:
+        return self.text
+
+
+# A word may contain internal periods (initials like "F.", "U.S."), internal
+# hyphens, apostrophes ("O'Brien"), and digits ("MI6", "76ers").
+_WORD_RE = re.compile(
+    r"""
+      \d+(?:\.\d+)?(?![A-Za-z0-9])     # numbers, unless glued to letters (76ers)
+    | [A-Za-z](?:\.[A-Za-z])+\.?       # dotted abbreviations: U.S., J.F.K.
+    | [A-Za-z][A-Za-z0-9]*\.(?=\s+[A-Z]|\s*$)?  # word possibly ending a sentence
+    | 's(?![A-Za-z0-9])                # possessive clitic ("Thatcher|'s")
+    | [A-Za-z0-9](?:[A-Za-z0-9\-]|'(?=[A-Za-z0-9]{2}))*   # words; apostrophe only inside (O'Brien)
+    | [?.!,;:()"']                     # punctuation
+    """,
+    re.VERBOSE,
+)
+
+_CONTRACTIONS = {
+    "what's": ("what", "is"),
+    "who's": ("who", "is"),
+    "where's": ("where", "is"),
+    "when's": ("when", "is"),
+    "how's": ("how", "is"),
+    "that's": ("that", "is"),
+    "it's": ("it", "is"),
+    "isn't": ("is", "not"),
+    "wasn't": ("was", "not"),
+    "aren't": ("are", "not"),
+    "doesn't": ("does", "not"),
+    "don't": ("do", "not"),
+    "didn't": ("did", "not"),
+    "can't": ("can", "not"),
+    "won't": ("will", "not"),
+}
+
+#: Initial-like tokens ("F.") keep the period; other trailing periods split.
+_ABBREVIATION_RE = re.compile(r"^[A-Za-z](?:\.[A-Za-z])*\.$")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a question into :class:`Token` objects.
+
+    Sentence-final punctuation is kept as its own token; downstream layers
+    typically filter it out (the dependency parser ignores it).
+    """
+    raw: list[str] = []
+    for piece in text.split():
+        lowered = piece.lower().rstrip("?.!,")
+        trailing = piece[len(piece.rstrip("?.!,")):]
+        if lowered in _CONTRACTIONS:
+            first, second = _CONTRACTIONS[lowered]
+            if piece[0].isupper():
+                first = first.capitalize()
+            raw.append(first)
+            raw.append(second)
+            raw.extend(trailing)
+            continue
+        for match in _WORD_RE.finditer(piece):
+            word = match.group(0)
+            # "Kennedy." → "Kennedy" + "." unless it is an abbreviation.
+            if word.endswith(".") and len(word) > 2 and not _ABBREVIATION_RE.match(word):
+                raw.append(word[:-1])
+                raw.append(".")
+            else:
+                raw.append(word)
+    return [Token(text=t, index=i) for i, t in enumerate(raw)]
+
+
+def detokenize(tokens: list[Token]) -> str:
+    """Human-readable join of tokens (spaces except before punctuation)."""
+    parts: list[str] = []
+    for token in tokens:
+        if token.text in "?.!,;:" and parts:
+            parts[-1] += token.text
+        else:
+            parts.append(token.text)
+    return " ".join(parts)

@@ -1,0 +1,35 @@
+"""Offline phase: mining the paraphrase dictionary D (Section 3).
+
+Given a relation-phrase dataset (phrases with supporting entity pairs, à la
+Patty/ReVerb) and an RDF graph, Algorithm 1 finds for each phrase the top-k
+predicates or *predicate paths* that are semantically equivalent:
+
+1. locate each supporting pair in the graph and enumerate all simple paths
+   between them up to length θ, ignoring edge direction (bidirectional BFS);
+2. score each candidate path with tf-idf (Definition 4), treating each
+   phrase's path multiset as a document — this suppresses noise paths like
+   (hasGender, hasGender) that are frequent for *every* phrase;
+3. keep the k best paths per phrase, with normalized confidences.
+
+    from repro.paraphrase import ParaphraseMiner
+
+    dictionary = ParaphraseMiner(kg, max_path_length=4, top_k=3).mine(phrases)
+    dictionary.lookup("play in")   # [(path, confidence), ...]
+"""
+
+from repro.paraphrase.path_mining import find_simple_paths
+from repro.paraphrase.tfidf import idf_value, tf_idf_value, tf_value
+from repro.paraphrase.dictionary import ParaphraseDictionary, PredicateMapping
+from repro.paraphrase.miner import ParaphraseMiner, RelationPhraseDataset, normalize_phrase
+
+__all__ = [
+    "find_simple_paths",
+    "idf_value",
+    "tf_idf_value",
+    "tf_value",
+    "ParaphraseDictionary",
+    "PredicateMapping",
+    "ParaphraseMiner",
+    "RelationPhraseDataset",
+    "normalize_phrase",
+]

@@ -1,0 +1,68 @@
+"""Dictionary encoding of RDF terms to dense integer ids.
+
+Every term (IRI or literal) that enters the store is assigned a stable,
+dense, non-negative integer id.  All graph algorithms in this project
+(path mining, subgraph matching, pruning) operate on ids; terms are only
+materialised at the API boundary.  This mirrors how production RDF stores
+(Virtuoso, gStore) keep their join machinery on fixed-width integers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.exceptions import TermNotFoundError
+from repro.rdf.terms import Term
+
+
+class TermDictionary:
+    """Bidirectional mapping between RDF terms and dense integer ids.
+
+    Ids are assigned in first-seen order starting at 0 and are never reused,
+    so they are valid as indexes into side arrays for the lifetime of the
+    dictionary.
+    """
+
+    def __init__(self) -> None:
+        self._term_to_id: dict[Term, int] = {}
+        self._id_to_term: list[Term] = []
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._term_to_id
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self._id_to_term)
+
+    def encode(self, term: Term) -> int:
+        """Return the id for ``term``, assigning a fresh one if unseen."""
+        existing = self._term_to_id.get(term)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_term)
+        self._term_to_id[term] = new_id
+        self._id_to_term.append(term)
+        return new_id
+
+    def lookup(self, term: Term) -> int:
+        """Return the id for ``term``; raise if it was never encoded."""
+        try:
+            return self._term_to_id[term]
+        except KeyError:
+            raise TermNotFoundError(f"term not in dictionary: {term!r}") from None
+
+    def lookup_or_none(self, term: Term) -> int | None:
+        """Return the id for ``term`` or None if it was never encoded."""
+        return self._term_to_id.get(term)
+
+    def decode(self, term_id: int) -> Term:
+        """Return the term with id ``term_id``; raise if out of range."""
+        if 0 <= term_id < len(self._id_to_term):
+            return self._id_to_term[term_id]
+        raise TermNotFoundError(f"no term with id {term_id}")
+
+    def decode_many(self, term_ids) -> list[Term]:
+        """Decode a sequence of ids, preserving order."""
+        return [self.decode(term_id) for term_id in term_ids]

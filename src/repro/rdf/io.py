@@ -1,0 +1,40 @@
+"""File-level load/save for triple stores.
+
+Convenience wrappers over the N-Triples parser/serializer so a knowledge
+base round-trips through a single file — the adoption path for users with
+their own data (see ``examples/custom_knowledge_base.py``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.rdf.graph import KnowledgeGraph
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf.store import TripleStore
+
+
+def load_store(path: str | Path) -> TripleStore:
+    """Load a triple store from an N-Triples file."""
+    text = Path(path).read_text(encoding="utf-8")
+    store = TripleStore()
+    store.add_all(parse_ntriples(text))
+    return store
+
+
+def load_knowledge_graph(path: str | Path) -> KnowledgeGraph:
+    """Load a knowledge graph (store + algorithm view) from N-Triples."""
+    return KnowledgeGraph(load_store(path))
+
+
+def save_store(store: TripleStore, path: str | Path) -> int:
+    """Write a store to an N-Triples file; returns the triple count.
+
+    Triples are sorted for deterministic, diff-friendly output.
+    """
+    triples = sorted(
+        store.triples(),
+        key=lambda t: (t.subject.value, t.predicate.value, str(t.object)),
+    )
+    Path(path).write_text(serialize_ntriples(triples), encoding="utf-8")
+    return len(triples)

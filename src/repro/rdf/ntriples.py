@@ -1,0 +1,194 @@
+"""N-Triples parsing and serialization.
+
+Implements the line-oriented N-Triples syntax: one triple per line,
+``<iri>`` terms, ``"literal"`` with optional ``@lang`` or ``^^<datatype>``,
+``#`` comments, and the standard string escapes.  Blank nodes are not
+supported (the project's knowledge graphs never use them); encountering one
+raises :class:`RDFSyntaxError` rather than silently mangling data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.exceptions import RDFSyntaxError
+from repro.rdf.terms import IRI, Literal, Term, Triple
+
+_ESCAPES = {
+    "t": "\t",
+    "n": "\n",
+    "r": "\r",
+    '"': '"',
+    "\\": "\\",
+}
+_REVERSE_ESCAPES = {
+    "\t": "\\t",
+    "\n": "\\n",
+    "\r": "\\r",
+    '"': '\\"',
+    "\\": "\\\\",
+}
+# str.splitlines() treats these as line boundaries, so they must never appear
+# raw inside a serialized literal or the document stops being line-oriented.
+for _boundary in "\v\f\x1c\x1d\x1e\x85\u2028\u2029":
+    _REVERSE_ESCAPES[_boundary] = f"\\u{ord(_boundary):04X}"
+del _boundary
+
+
+class _LineScanner:
+    """Cursor over a single N-Triples line."""
+
+    def __init__(self, text: str, line_number: int | None):
+        self.text = text
+        self.pos = 0
+        self.line_number = line_number
+
+    def error(self, message: str) -> RDFSyntaxError:
+        return RDFSyntaxError(f"{message} (at column {self.pos})", self.line_number)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t":
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}, found {self.peek()!r}")
+        self.pos += 1
+
+    def read_iri(self) -> IRI:
+        self.expect("<")
+        end = self.text.find(">", self.pos)
+        if end == -1:
+            raise self.error("unterminated IRI")
+        value = self.text[self.pos : end]
+        self.pos = end + 1
+        if not value:
+            raise self.error("empty IRI")
+        return IRI(value)
+
+    def read_literal(self) -> Literal:
+        self.expect('"')
+        chars: list[str] = []
+        while True:
+            if self.at_end():
+                raise self.error("unterminated literal")
+            char = self.text[self.pos]
+            self.pos += 1
+            if char == '"':
+                break
+            if char == "\\":
+                if self.at_end():
+                    raise self.error("dangling escape")
+                esc = self.text[self.pos]
+                self.pos += 1
+                if esc in _ESCAPES:
+                    chars.append(_ESCAPES[esc])
+                elif esc == "u":
+                    chars.append(self._read_unicode_escape(4))
+                elif esc == "U":
+                    chars.append(self._read_unicode_escape(8))
+                else:
+                    raise self.error(f"unknown escape \\{esc}")
+            else:
+                chars.append(char)
+        lexical = "".join(chars)
+        if self.peek() == "@":
+            self.pos += 1
+            start = self.pos
+            while self.pos < len(self.text) and (
+                self.text[self.pos].isalnum() or self.text[self.pos] == "-"
+            ):
+                self.pos += 1
+            language = self.text[start : self.pos]
+            if not language:
+                raise self.error("empty language tag")
+            return Literal(lexical, language=language)
+        if self.text.startswith("^^", self.pos):
+            self.pos += 2
+            datatype = self.read_iri()
+            return Literal(lexical, datatype=datatype)
+        return Literal(lexical)
+
+    def _read_unicode_escape(self, width: int) -> str:
+        hex_digits = self.text[self.pos : self.pos + width]
+        if len(hex_digits) != width:
+            raise self.error("truncated unicode escape")
+        try:
+            code_point = int(hex_digits, 16)
+        except ValueError:
+            raise self.error(f"invalid unicode escape {hex_digits!r}") from None
+        self.pos += width
+        return chr(code_point)
+
+    def read_term(self) -> Term:
+        char = self.peek()
+        if char == "<":
+            return self.read_iri()
+        if char == '"':
+            return self.read_literal()
+        if char == "_":
+            raise self.error("blank nodes are not supported")
+        raise self.error(f"expected a term, found {char!r}")
+
+
+def parse_ntriples_line(line: str, line_number: int | None = None) -> Triple | None:
+    """Parse one N-Triples line; returns None for blank/comment lines."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    scanner = _LineScanner(stripped, line_number)
+    subject = scanner.read_term()
+    if not isinstance(subject, IRI):
+        raise scanner.error("triple subject must be an IRI")
+    scanner.skip_ws()
+    predicate = scanner.read_term()
+    if not isinstance(predicate, IRI):
+        raise scanner.error("triple predicate must be an IRI")
+    scanner.skip_ws()
+    obj = scanner.read_term()
+    scanner.skip_ws()
+    scanner.expect(".")
+    scanner.skip_ws()
+    if not scanner.at_end() and not scanner.text[scanner.pos :].lstrip().startswith("#"):
+        raise scanner.error("trailing content after '.'")
+    return Triple(subject, predicate, obj)
+
+
+def parse_ntriples(text: str) -> Iterator[Triple]:
+    """Parse an N-Triples document, yielding triples in order."""
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        triple = parse_ntriples_line(line, line_number)
+        if triple is not None:
+            yield triple
+
+
+def _escape(lexical: str) -> str:
+    return "".join(_REVERSE_ESCAPES.get(char, char) for char in lexical)
+
+
+def serialize_term(term: Term) -> str:
+    """Serialize a single term in N-Triples syntax."""
+    if isinstance(term, IRI):
+        return f"<{term.value}>"
+    quoted = f'"{_escape(term.lexical)}"'
+    if term.language is not None:
+        return f"{quoted}@{term.language}"
+    if term.datatype is not None:
+        return f"{quoted}^^<{term.datatype.value}>"
+    return quoted
+
+
+def serialize_ntriples(triples: Iterable[Triple]) -> str:
+    """Serialize triples as an N-Triples document (one per line)."""
+    lines = [
+        f"{serialize_term(t.subject)} {serialize_term(t.predicate)} "
+        f"{serialize_term(t.object)} ."
+        for t in triples
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,234 @@
+"""Triple store with three permutation indexes over dictionary-encoded ids.
+
+The store keeps SPO, POS, and OSP indexes as two-level dicts of sets, which
+answers any triple pattern with one or two bound positions by a direct seek
+instead of a scan.  This is the standard index layout of native RDF stores
+(e.g. gStore, RDF-3X keep the full set of permutations; three suffice here
+because each pattern shape has at least one index whose prefix is bound).
+
+All mutation goes through :meth:`add`; the store is append-only except for
+:meth:`remove`, which the paraphrase-dictionary maintenance tests exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.rdf.dictionary import TermDictionary
+from repro.rdf.terms import IRI, Literal, Term, Triple
+
+_IdTriple = tuple[int, int, int]
+
+
+class TripleStore:
+    """An in-memory, dictionary-encoded RDF triple store.
+
+    The public API accepts and returns :class:`Triple` objects with real
+    terms; the ``*_ids`` methods expose the integer layer that the matching
+    and mining algorithms use directly.
+    """
+
+    def __init__(self) -> None:
+        self.dictionary = TermDictionary()
+        self._spo: dict[int, dict[int, set[int]]] = {}
+        self._pos: dict[int, dict[int, set[int]]] = {}
+        self._osp: dict[int, dict[int, set[int]]] = {}
+        self._size = 0
+        self._literal_ids: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add(self, triple: Triple) -> bool:
+        """Insert a triple.  Returns True if it was new, False if present."""
+        s = self.dictionary.encode(triple.subject)
+        p = self.dictionary.encode(triple.predicate)
+        o = self.dictionary.encode(triple.object)
+        if isinstance(triple.object, Literal):
+            self._literal_ids.add(o)
+        return self._add_ids(s, p, o)
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; returns the number that were new."""
+        return sum(1 for triple in triples if self.add(triple))
+
+    def _add_ids(self, s: int, p: int, o: int) -> bool:
+        objects = self._spo.setdefault(s, {}).setdefault(p, set())
+        if o in objects:
+            return False
+        objects.add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        self._size += 1
+        return True
+
+    def remove(self, triple: Triple) -> bool:
+        """Delete a triple.  Returns True if it was present."""
+        s = self.dictionary.lookup_or_none(triple.subject)
+        p = self.dictionary.lookup_or_none(triple.predicate)
+        o = self.dictionary.lookup_or_none(triple.object)
+        if s is None or p is None or o is None:
+            return False
+        objects = self._spo.get(s, {}).get(p)
+        if objects is None or o not in objects:
+            return False
+        objects.discard(o)
+        self._pos[p][o].discard(s)
+        self._osp[o][s].discard(p)
+        self._prune_empty(self._spo, s, p)
+        self._prune_empty(self._pos, p, o)
+        self._prune_empty(self._osp, o, s)
+        self._size -= 1
+        return True
+
+    @staticmethod
+    def _prune_empty(index: dict[int, dict[int, set[int]]], outer: int, inner: int) -> None:
+        level = index.get(outer)
+        if level is None:
+            return
+        if not level.get(inner):
+            level.pop(inner, None)
+        if not level:
+            index.pop(outer, None)
+
+    # ------------------------------------------------------------------ #
+    # Size / membership
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, triple: Triple) -> bool:
+        s = self.dictionary.lookup_or_none(triple.subject)
+        p = self.dictionary.lookup_or_none(triple.predicate)
+        o = self.dictionary.lookup_or_none(triple.object)
+        if s is None or p is None or o is None:
+            return False
+        return o in self._spo.get(s, {}).get(p, ())
+
+    def contains_ids(self, s: int, p: int, o: int) -> bool:
+        return o in self._spo.get(s, {}).get(p, ())
+
+    def is_literal_id(self, term_id: int) -> bool:
+        return term_id in self._literal_ids
+
+    # ------------------------------------------------------------------ #
+    # Pattern matching
+    # ------------------------------------------------------------------ #
+
+    def triples(
+        self,
+        subject: IRI | None = None,
+        predicate: IRI | None = None,
+        object: Term | None = None,
+    ) -> Iterator[Triple]:
+        """Iterate triples matching a pattern; None positions are wildcards."""
+        s = self._bound_id(subject)
+        p = self._bound_id(predicate)
+        o = self._bound_id(object)
+        if -1 in (s, p, o):  # a bound term that was never stored matches nothing
+            return
+        decode = self.dictionary.decode
+        for sid, pid, oid in self.triples_ids(s, p, o):
+            yield Triple(decode(sid), decode(pid), decode(oid))
+
+    def _bound_id(self, term: Term | None) -> int | None:
+        """Map a pattern position to an id; -1 marks an unknown bound term."""
+        if term is None:
+            return None
+        found = self.dictionary.lookup_or_none(term)
+        return -1 if found is None else found
+
+    def triples_ids(
+        self, s: int | None = None, p: int | None = None, o: int | None = None
+    ) -> Iterator[_IdTriple]:
+        """Iterate id triples matching a pattern of optional bound ids.
+
+        Chooses the index whose prefix covers the bound positions so every
+        shape is answered by direct dict seeks plus one innermost loop.
+        """
+        if s is not None:
+            by_pred = self._spo.get(s, {})
+            if p is not None:
+                objects = by_pred.get(p, ())
+                if o is not None:
+                    if o in objects:
+                        yield (s, p, o)
+                else:
+                    for oid in objects:
+                        yield (s, p, oid)
+            elif o is not None:
+                for pid in self._osp.get(o, {}).get(s, ()):
+                    yield (s, pid, o)
+            else:
+                for pid, objects in by_pred.items():
+                    for oid in objects:
+                        yield (s, pid, oid)
+        elif p is not None:
+            by_obj = self._pos.get(p, {})
+            if o is not None:
+                for sid in by_obj.get(o, ()):
+                    yield (sid, p, o)
+            else:
+                for oid, subjects in by_obj.items():
+                    for sid in subjects:
+                        yield (sid, p, oid)
+        elif o is not None:
+            for sid, preds in self._osp.get(o, {}).items():
+                for pid in preds:
+                    yield (sid, pid, o)
+        else:
+            for sid, by_pred in self._spo.items():
+                for pid, objects in by_pred.items():
+                    for oid in objects:
+                        yield (sid, pid, oid)
+
+    def count(
+        self, s: int | None = None, p: int | None = None, o: int | None = None
+    ) -> int:
+        """Number of triples matching an id pattern (O(1) for common shapes)."""
+        if s is None and p is None and o is None:
+            return self._size
+        if s is not None and p is not None and o is None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if p is not None and o is not None and s is None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        return sum(1 for _ in self.triples_ids(s, p, o))
+
+    # ------------------------------------------------------------------ #
+    # Vocabulary accessors
+    # ------------------------------------------------------------------ #
+
+    def subject_ids(self) -> Iterator[int]:
+        return iter(self._spo)
+
+    def predicate_ids(self) -> Iterator[int]:
+        return iter(self._pos)
+
+    def object_ids(self) -> Iterator[int]:
+        return iter(self._osp)
+
+    def subjects(self) -> Iterator[Term]:
+        return (self.dictionary.decode(sid) for sid in self._spo)
+
+    def predicates(self) -> Iterator[Term]:
+        return (self.dictionary.decode(pid) for pid in self._pos)
+
+    def objects(self) -> Iterator[Term]:
+        return (self.dictionary.decode(oid) for oid in self._osp)
+
+    def node_ids(self) -> set[int]:
+        """Ids of all graph nodes (subjects and non-literal objects)."""
+        nodes = set(self._spo)
+        nodes.update(oid for oid in self._osp if oid not in self._literal_ids)
+        return nodes
+
+    def statistics(self) -> dict[str, int]:
+        """Headline dataset statistics, in the shape of the paper's Table 4."""
+        return {
+            "triples": self._size,
+            "nodes": len(self.node_ids()),
+            "predicates": len(self._pos),
+            "literals": len(self._literal_ids),
+        }

@@ -1,0 +1,105 @@
+"""RDF term model: IRIs, literals, and triples.
+
+Terms are immutable and hashable so they can serve as dictionary keys and be
+deduplicated by the term dictionary.  A :class:`Triple` is a plain
+(subject, predicate, object) record; subjects and predicates are IRIs,
+objects are IRIs or literals (the store enforces this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True)
+class IRI:
+    """An IRI reference, stored as its full lexical form.
+
+    The mini knowledge bases in this project use compact ``ex:``-style names
+    for readability; nothing in the store assumes a particular scheme.
+    """
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise ValueError("IRI value must be a non-empty string")
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def local_name(self) -> str:
+        """The part after the last '/', '#', or ':' — a readable short name."""
+        value = self.value
+        for sep in ("#", "/", ":"):
+            if sep in value:
+                value = value.rsplit(sep, 1)[1]
+                break
+        return value
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """An RDF literal with optional datatype IRI and language tag.
+
+    Only one of ``datatype`` / ``language`` may be set (RDF 1.1 semantics:
+    language-tagged strings have the implicit rdf:langString datatype).
+    """
+
+    lexical: str
+    datatype: IRI | None = None
+    language: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.datatype is not None and self.language is not None:
+            raise ValueError("a literal cannot have both a datatype and a language tag")
+
+    def __str__(self) -> str:
+        return self.lexical
+
+    def to_python(self) -> object:
+        """Best-effort conversion to a Python value based on the datatype.
+
+        Unknown datatypes and plain literals come back as the lexical string.
+        """
+        from repro.rdf import vocab
+
+        if self.datatype == vocab.XSD_INTEGER:
+            return int(self.lexical)
+        if self.datatype in (vocab.XSD_DECIMAL, vocab.XSD_DOUBLE):
+            return float(self.lexical)
+        if self.datatype == vocab.XSD_BOOLEAN:
+            return self.lexical in ("true", "1")
+        return self.lexical
+
+
+Term = Union[IRI, Literal]
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """A single RDF statement."""
+
+    subject: IRI
+    predicate: IRI
+    object: Term
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.subject, IRI):
+            raise TypeError(f"triple subject must be an IRI, got {type(self.subject).__name__}")
+        if not isinstance(self.predicate, IRI):
+            raise TypeError(
+                f"triple predicate must be an IRI, got {type(self.predicate).__name__}"
+            )
+        if not isinstance(self.object, (IRI, Literal)):
+            raise TypeError(
+                f"triple object must be an IRI or Literal, got {type(self.object).__name__}"
+            )
+
+    def __iter__(self):
+        return iter((self.subject, self.predicate, self.object))
+
+    def __str__(self) -> str:
+        return f"({self.subject} {self.predicate} {self.object})"

@@ -1,0 +1,31 @@
+"""Well-known vocabulary IRIs used throughout the project.
+
+The mini knowledge graphs use the same structural predicates as DBpedia:
+``rdf:type`` for class membership (the paper's Definition 3 condition 2 and
+its class-vertex test), ``rdfs:subClassOf`` for the class hierarchy, and
+``rdfs:label`` for the surface forms the entity linker indexes.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.terms import IRI
+
+RDF_NS = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+RDFS_NS = "http://www.w3.org/2000/01/rdf-schema#"
+XSD_NS = "http://www.w3.org/2001/XMLSchema#"
+
+RDF_TYPE = IRI(RDF_NS + "type")
+RDFS_LABEL = IRI(RDFS_NS + "label")
+RDFS_SUBCLASSOF = IRI(RDFS_NS + "subClassOf")
+
+XSD_STRING = IRI(XSD_NS + "string")
+XSD_INTEGER = IRI(XSD_NS + "integer")
+XSD_DECIMAL = IRI(XSD_NS + "decimal")
+XSD_DOUBLE = IRI(XSD_NS + "double")
+XSD_BOOLEAN = IRI(XSD_NS + "boolean")
+XSD_DATE = IRI(XSD_NS + "date")
+
+#: Predicates that carry schema/bookkeeping information rather than domain
+#: facts.  The paraphrase miner and the matcher skip these when enumerating
+#: predicate paths (a path through rdfs:label never denotes a relation).
+STRUCTURAL_PREDICATES = frozenset({RDF_TYPE, RDFS_LABEL, RDFS_SUBCLASSOF})

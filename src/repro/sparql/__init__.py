@@ -1,0 +1,65 @@
+"""SPARQL subset engine over the triple store.
+
+Supports the query shapes the paper's pipeline and baselines emit:
+
+* ``SELECT``/``SELECT DISTINCT``/``SELECT COUNT(?v)`` and ``ASK``
+* basic graph patterns (any mix of bound terms and variables)
+* ``FILTER`` with numeric/string comparisons, ``&&``, ``||``, ``!``
+* ``ORDER BY [ASC|DESC](?v)``, ``LIMIT``, ``OFFSET``
+
+This is the substrate for the generate-then-evaluate baselines (DEANNA,
+template QA) and for executing the top-k SPARQL queries gAnswer emits
+(Algorithm 3's output is "Top-k SPARQL Queries").
+
+    from repro.sparql import parse_query, evaluate
+
+    query = parse_query('SELECT ?who WHERE { ?who <ex:spouse> <ex:Banderas> . }')
+    rows = evaluate(store, query)
+"""
+
+from repro.sparql.ast import (
+    BooleanExpr,
+    Comparison,
+    NotExpr,
+    OrderCondition,
+    Query,
+    QueryForm,
+    TriplePattern,
+    Variable,
+)
+from repro.sparql.parser import parse_query
+from repro.sparql.executor import Bindings, evaluate, evaluate_ask, evaluate_select
+from repro.sparql.paths import (
+    AlternativePath,
+    InversePath,
+    PathExpr,
+    PredicateStep,
+    RepeatPath,
+    SequencePath,
+    evaluate_path,
+    path_to_string,
+)
+
+__all__ = [
+    "AlternativePath",
+    "InversePath",
+    "PathExpr",
+    "PredicateStep",
+    "RepeatPath",
+    "SequencePath",
+    "evaluate_path",
+    "path_to_string",
+    "BooleanExpr",
+    "Comparison",
+    "NotExpr",
+    "OrderCondition",
+    "Query",
+    "QueryForm",
+    "TriplePattern",
+    "Variable",
+    "parse_query",
+    "Bindings",
+    "evaluate",
+    "evaluate_ask",
+    "evaluate_select",
+]

@@ -1,0 +1,350 @@
+"""Evaluator for the SPARQL subset over a :class:`TripleStore`.
+
+Basic graph patterns are solved by backtracking joins: at each step the
+remaining pattern with the most bound positions (after substituting current
+bindings) is matched against the store, which keeps the intermediate result
+small without a full query optimizer.  Filters are applied as soon as all
+their variables are bound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.exceptions import SPARQLEvaluationError
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import IRI, Literal, Term
+from repro.sparql.ast import (
+    BooleanExpr,
+    Comparator,
+    Comparison,
+    FilterExpr,
+    NotExpr,
+    PatternTerm,
+    Query,
+    QueryForm,
+    TriplePattern,
+    Variable,
+)
+
+Bindings = dict[Variable, Term]
+
+
+# --------------------------------------------------------------------- #
+# Value comparison
+# --------------------------------------------------------------------- #
+
+def _numeric(value: Term) -> float | None:
+    if isinstance(value, Literal):
+        try:
+            return float(value.lexical)
+        except ValueError:
+            return None
+    return None
+
+
+def _comparison_key(value: Term) -> tuple[int, float | str]:
+    """Sort key: numbers before strings, numerically where possible."""
+    number = _numeric(value)
+    if number is not None:
+        return (0, number)
+    if isinstance(value, Literal):
+        return (1, value.lexical)
+    return (1, value.value)
+
+
+def _values_equal(left: Term, right: Term) -> bool:
+    if left == right:
+        return True
+    # Numeric literals compare by value ("1.0" = "1"), as in SPARQL.
+    left_num, right_num = _numeric(left), _numeric(right)
+    if left_num is not None and right_num is not None:
+        return left_num == right_num
+    # Plain vs typed string literals with the same lexical form.
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        return left.lexical == right.lexical and (left.language == right.language)
+    return False
+
+
+def _compare(left: Term, op: Comparator, right: Term) -> bool:
+    if op is Comparator.EQ:
+        return _values_equal(left, right)
+    if op is Comparator.NE:
+        return not _values_equal(left, right)
+    left_key, right_key = _comparison_key(left), _comparison_key(right)
+    if left_key[0] != right_key[0]:
+        raise SPARQLEvaluationError(
+            f"cannot order-compare {left!r} and {right!r} (number vs string)"
+        )
+    if op is Comparator.LT:
+        return left_key < right_key
+    if op is Comparator.LE:
+        return left_key <= right_key
+    if op is Comparator.GT:
+        return left_key > right_key
+    return left_key >= right_key
+
+
+# --------------------------------------------------------------------- #
+# Filters
+# --------------------------------------------------------------------- #
+
+def _filter_variables(expr: FilterExpr) -> set[Variable]:
+    if isinstance(expr, Comparison):
+        return {
+            side for side in (expr.left, expr.right) if isinstance(side, Variable)
+        }
+    if isinstance(expr, BooleanExpr):
+        return _filter_variables(expr.left) | _filter_variables(expr.right)
+    return _filter_variables(expr.operand)
+
+
+def _resolve(side: PatternTerm, bindings: Bindings) -> Term:
+    if isinstance(side, Variable):
+        try:
+            return bindings[side]
+        except KeyError:
+            raise SPARQLEvaluationError(f"unbound variable in FILTER: {side}") from None
+    return side
+
+
+def _evaluate_filter(expr: FilterExpr, bindings: Bindings) -> bool:
+    if isinstance(expr, Comparison):
+        return _compare(_resolve(expr.left, bindings), expr.op, _resolve(expr.right, bindings))
+    if isinstance(expr, BooleanExpr):
+        if expr.op == "&&":
+            return _evaluate_filter(expr.left, bindings) and _evaluate_filter(
+                expr.right, bindings
+            )
+        return _evaluate_filter(expr.left, bindings) or _evaluate_filter(expr.right, bindings)
+    return not _evaluate_filter(expr.operand, bindings)
+
+
+# --------------------------------------------------------------------- #
+# Basic graph pattern matching
+# --------------------------------------------------------------------- #
+
+def _substitute(position: PatternTerm, bindings: Bindings) -> PatternTerm:
+    if isinstance(position, Variable):
+        return bindings.get(position, position)
+    return position
+
+
+def _pattern_selectivity(pattern: TriplePattern, bindings: Bindings) -> int:
+    """Higher is better: number of bound positions after substitution."""
+    score = 0
+    for position in (pattern.subject, pattern.predicate, pattern.object):
+        if not isinstance(_substitute(position, bindings), Variable):
+            score += 1
+    return score
+
+
+def _match_path_pattern(
+    store: TripleStore, pattern: TriplePattern, bindings: Bindings
+) -> Iterator[Bindings]:
+    """Match a pattern whose predicate is a property-path expression."""
+    from repro.sparql.paths import evaluate_path
+
+    subject = _substitute(pattern.subject, bindings)
+    obj = _substitute(pattern.object, bindings)
+    source = None if isinstance(subject, Variable) else store.dictionary.lookup_or_none(subject)
+    target = None if isinstance(obj, Variable) else store.dictionary.lookup_or_none(obj)
+    if (not isinstance(subject, Variable) and source is None) or (
+        not isinstance(obj, Variable) and target is None
+    ):
+        return  # a bound endpoint that was never stored matches nothing
+    decode = store.dictionary.decode
+    for source_id, target_id in evaluate_path(store, pattern.predicate, source, target):
+        new_bindings = dict(bindings)
+        consistent = True
+        for position, value_id in ((subject, source_id), (obj, target_id)):
+            if isinstance(position, Variable):
+                value = decode(value_id)
+                bound = new_bindings.get(position)
+                if bound is None:
+                    new_bindings[position] = value
+                elif bound != value:
+                    consistent = False
+                    break
+        if consistent:
+            yield new_bindings
+
+
+def _match_pattern(
+    store: TripleStore, pattern: TriplePattern, bindings: Bindings
+) -> Iterator[Bindings]:
+    if not isinstance(pattern.predicate, (Variable, IRI)):
+        yield from _match_path_pattern(store, pattern, bindings)
+        return
+    subject = _substitute(pattern.subject, bindings)
+    predicate = _substitute(pattern.predicate, bindings)
+    obj = _substitute(pattern.object, bindings)
+
+    subject_term = None if isinstance(subject, Variable) else subject
+    predicate_term = None if isinstance(predicate, Variable) else predicate
+    object_term = None if isinstance(obj, Variable) else obj
+
+    for triple in store.triples(subject_term, predicate_term, object_term):
+        new_bindings = dict(bindings)
+        consistent = True
+        for position, value in (
+            (subject, triple.subject),
+            (predicate, triple.predicate),
+            (obj, triple.object),
+        ):
+            if isinstance(position, Variable):
+                bound = new_bindings.get(position)
+                if bound is None:
+                    new_bindings[position] = value
+                elif bound != value:
+                    consistent = False
+                    break
+        if consistent:
+            yield new_bindings
+
+
+def _solve_bgp(
+    store: TripleStore,
+    patterns: list[TriplePattern],
+    filters: list[FilterExpr],
+    bindings: Bindings,
+) -> Iterator[Bindings]:
+    if not patterns:
+        yield bindings
+        return
+    # Pick the most selective remaining pattern given current bindings.
+    best_index = max(
+        range(len(patterns)), key=lambda i: _pattern_selectivity(patterns[i], bindings)
+    )
+    pattern = patterns[best_index]
+    remaining = patterns[:best_index] + patterns[best_index + 1 :]
+    for extended in _match_pattern(store, pattern, bindings):
+        if not _filters_pass_when_ready(filters, extended):
+            continue
+        yield from _solve_bgp(store, remaining, filters, extended)
+
+
+def _filters_pass_when_ready(filters: list[FilterExpr], bindings: Bindings) -> bool:
+    """Apply every filter whose variables are all bound; defer the rest."""
+    for expr in filters:
+        if _filter_variables(expr) <= set(bindings):
+            if not _evaluate_filter(expr, bindings):
+                return False
+    return True
+
+
+# --------------------------------------------------------------------- #
+# Query forms
+# --------------------------------------------------------------------- #
+
+def _solve_query_body(store: TripleStore, query: Query) -> list[Bindings]:
+    """Base BGP, then UNION joins, then OPTIONAL left-joins."""
+    rows = list(_solve_bgp(store, list(query.patterns), list(query.filters), {}))
+    for arms in query.unions:
+        joined: list[Bindings] = []
+        for row in rows:
+            for arm in arms:
+                joined.extend(
+                    _solve_bgp(store, list(arm.patterns), list(arm.filters), row)
+                )
+        rows = joined
+    for optional in query.optionals:
+        extended: list[Bindings] = []
+        for row in rows:
+            matches = list(
+                _solve_bgp(store, list(optional.patterns), list(optional.filters), row)
+            )
+            extended.extend(matches if matches else [row])
+        rows = extended
+    return rows
+
+
+def evaluate_select(store: TripleStore, query: Query) -> list[Bindings]:
+    """Evaluate a SELECT query, returning projected binding rows in order."""
+    if query.form is not QueryForm.SELECT:
+        raise SPARQLEvaluationError("evaluate_select requires a SELECT query")
+    known = query.variables()
+    for expr in query.filters:
+        missing = _filter_variables(expr) - known
+        if missing:
+            names = ", ".join(sorted(str(v) for v in missing))
+            raise SPARQLEvaluationError(f"FILTER uses variables not in any pattern: {names}")
+
+    rows = _solve_query_body(store, query)
+
+    if query.order_by:
+        for condition in reversed(query.order_by):
+            if condition.variable not in known:
+                raise SPARQLEvaluationError(
+                    f"ORDER BY variable not in any pattern: {condition.variable}"
+                )
+            # OPTIONAL may leave a variable unbound; unbound sorts first.
+            rows.sort(
+                key=lambda row: (
+                    (0, "") if condition.variable not in row
+                    else (1, _comparison_key(row[condition.variable]))
+                ),
+                reverse=condition.descending,
+            )
+
+    projection = query.projection
+    if projection is not None:
+        unknown = set(projection) - known
+        if unknown:
+            names = ", ".join(sorted(str(v) for v in unknown))
+            raise SPARQLEvaluationError(f"projected variables not in any pattern: {names}")
+        # Unbound variables (OPTIONAL) stay absent from the projected row.
+        rows = [
+            {var: row[var] for var in projection if var in row} for row in rows
+        ]
+    if query.count_variable is not None:
+        if query.count_variable not in known:
+            raise SPARQLEvaluationError(
+                f"COUNT variable not in any pattern: {query.count_variable}"
+            )
+        # COUNT counts bound values; rows where OPTIONAL left the variable
+        # unbound do not contribute.
+        rows = [
+            {query.count_variable: row[query.count_variable]}
+            for row in rows
+            if query.count_variable in row
+        ]
+
+    if query.distinct:
+        seen: set[tuple] = set()
+        deduped: list[Bindings] = []
+        for row in rows:
+            key = tuple(sorted((var.name, repr(value)) for var, value in row.items()))
+            if key not in seen:
+                seen.add(key)
+                deduped.append(row)
+        rows = deduped
+
+    if query.offset:
+        rows = rows[query.offset :]
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return rows
+
+
+def evaluate_ask(store: TripleStore, query: Query) -> bool:
+    """Evaluate an ASK query: does at least one solution exist?"""
+    if query.form is not QueryForm.ASK:
+        raise SPARQLEvaluationError("evaluate_ask requires an ASK query")
+    return bool(_solve_query_body(store, query))
+
+
+def evaluate(store: TripleStore, query: Query):
+    """Evaluate any supported query form.
+
+    Returns a bool for ASK, an int for ``SELECT COUNT(?v)``, and a list of
+    binding rows for other SELECTs.
+    """
+    if query.form is QueryForm.ASK:
+        return evaluate_ask(store, query)
+    rows = evaluate_select(store, query)
+    if query.count_variable is not None:
+        # COUNT(?v) counts solution rows; SELECT DISTINCT COUNT(?v) counts
+        # distinct values (rows are already deduplicated above in that case).
+        return len(rows)
+    return rows

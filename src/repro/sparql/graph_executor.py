@@ -1,0 +1,161 @@
+"""SPARQL evaluation via subgraph matching (the gStore connection).
+
+The paper (Section 7, citing Zou et al.'s gStore [33]) notes that
+"answering SPARQL queries equals finding subgraph matches of query graphs
+Q over RDF graph".  This module makes that equivalence executable: a
+SELECT query's basic graph pattern is compiled into a
+:class:`CandidateSpace` — bound terms become single-candidate vertices,
+variables become wildcards, predicates become length-1 path candidates —
+and evaluated with the same :class:`SubgraphMatcher` the QA pipeline uses.
+
+Two caveats keep the equivalence honest rather than total:
+
+* subgraph matching is *injective* while SPARQL solutions may bind two
+  variables to the same term, so the compiler is only applicable to
+  queries whose semantics want distinct resources (`is_compilable`
+  reports why otherwise);
+* FILTER/ORDER/COUNT post-processing stays in the algebraic executor.
+
+The test suite cross-validates the two engines on every compilable query —
+a strong mutual check on both implementations.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SPARQLEvaluationError
+from repro.match.candidates import (
+    CandidateSpace,
+    EdgeCandidate,
+    QueryEdge,
+    QueryVertex,
+    VertexCandidate,
+)
+from repro.match.matcher import SubgraphMatcher
+from repro.rdf.graph import KnowledgeGraph, forward_step
+from repro.rdf.terms import IRI
+from repro.sparql.ast import Query, QueryForm, Variable
+from repro.sparql.executor import Bindings
+
+
+def is_compilable(query: Query) -> str | None:
+    """None if the query can run on the matcher; else the reason it can't."""
+    if query.form is not QueryForm.SELECT:
+        return "only SELECT queries compile to matching"
+    if query.filters or query.order_by or query.count_variable is not None:
+        return "FILTER/ORDER BY/COUNT require the algebraic executor"
+    if query.unions or query.optionals:
+        return "UNION/OPTIONAL require the algebraic executor"
+    if not query.patterns:
+        return "empty basic graph pattern"
+    for pattern in query.patterns:
+        if isinstance(pattern.predicate, Variable):
+            return "variable predicates do not map to edge candidates"
+        if not isinstance(pattern.predicate, IRI):
+            return "property paths require the algebraic executor"
+        if pattern.subject == pattern.object:
+            return "self-loop patterns need non-injective semantics"
+    return None
+
+
+def compile_to_space(kg: KnowledgeGraph, query: Query) -> tuple[CandidateSpace, dict]:
+    """Compile a SELECT BGP into a candidate space.
+
+    Returns (space, term_to_vertex) where ``term_to_vertex`` maps each
+    subject/object term or variable to its vertex id.
+    """
+    reason = is_compilable(query)
+    if reason is not None:
+        raise SPARQLEvaluationError(f"query not compilable to matching: {reason}")
+
+    space = CandidateSpace()
+    vertex_of: dict[object, int] = {}
+
+    def vertex_for(position) -> int:
+        key = position
+        if key in vertex_of:
+            return vertex_of[key]
+        vertex_id = len(vertex_of)
+        if isinstance(position, Variable):
+            space.add_vertex(QueryVertex(vertex_id, wildcard=True))
+        else:
+            node = kg.id_of(position)
+            candidates = (
+                [VertexCandidate(node, 1.0)] if node is not None else []
+            )
+            space.add_vertex(QueryVertex(vertex_id, candidates=candidates))
+        vertex_of[key] = vertex_id
+        return vertex_id
+
+    for pattern in query.patterns:
+        source = vertex_for(pattern.subject)
+        target = vertex_for(pattern.object)
+        predicate = kg.id_of(pattern.predicate)
+        candidates = (
+            [EdgeCandidate((forward_step(predicate),), 1.0)]
+            if predicate is not None
+            else []
+        )
+        space.add_edge(QueryEdge(source, target, candidates=candidates))
+    return space, vertex_of
+
+
+def evaluate_by_matching(kg: KnowledgeGraph, query: Query) -> list[Bindings]:
+    """Evaluate a compilable SELECT query with the subgraph matcher.
+
+    Results carry the same shape as the algebraic executor's (projected,
+    deduplicated when DISTINCT).  One semantic difference remains by
+    design: within a connected pattern component the match is injective,
+    so solutions that bind two different variables to the *same* node are
+    not produced — exactly the subgraph-isomorphism semantics of
+    Definition 3.  The cross-validation tests account for this.
+    """
+    space, vertex_of = compile_to_space(kg, query)
+    if space.has_empty_list():
+        return []
+
+    variables = {
+        key: vertex_id
+        for key, vertex_id in vertex_of.items()
+        if isinstance(key, Variable)
+    }
+    projected = (
+        [v for v in query.projection if v in variables]
+        if query.projection is not None
+        else sorted(variables, key=lambda v: v.name)
+    )
+    rows: list[Bindings] = []
+    seen: set[tuple] = set()
+    components = space.components()
+    per_component: list[list[dict[int, int]]] = []
+    for component in components:
+        matcher = SubgraphMatcher(
+            kg, component, max_matches=100_000, directed_edges=True
+        )
+        matches = matcher.all_matches()
+        if not matches:
+            return []
+        per_component.append([dict(m.bindings) for m in matches])
+
+    def combine(index: int, current: dict[int, int]) -> None:
+        if index == len(per_component):
+            row = {
+                variable: kg.term_of(current[variables[variable]])
+                for variable in projected
+            }
+            key = tuple(sorted((v.name, repr(t)) for v, t in row.items()))
+            if not query.distinct or key not in seen:
+                seen.add(key)
+                rows.append(row)
+            return
+        for bindings in per_component[index]:
+            merged = dict(current)
+            merged.update(bindings)
+            combine(index + 1, merged)
+
+    combine(0, {})
+
+    if query.limit is not None or query.offset:
+        rows = rows[query.offset :]
+        if query.limit is not None:
+            rows = rows[: query.limit]
+    return rows

@@ -1,0 +1,16 @@
+"""Shared fixtures for baseline tests."""
+
+import pytest
+
+from repro.datasets import build_dbpedia_mini, build_phrase_dataset
+from repro.paraphrase import ParaphraseMiner
+
+
+@pytest.fixture(scope="session")
+def kg():
+    return build_dbpedia_mini()
+
+
+@pytest.fixture(scope="session")
+def dictionary(kg):
+    return ParaphraseMiner(kg, max_path_length=4, top_k=3).mine(build_phrase_dataset())

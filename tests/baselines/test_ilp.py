@@ -1,0 +1,119 @@
+"""Tests for the exact 0/1 ILP branch-and-bound solver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ilp import IntegerProgram, Sense
+from repro.exceptions import ILPError, InfeasibleError
+
+
+class TestBasics:
+    def test_unconstrained_maximization(self):
+        program = IntegerProgram()
+        program.add_variable("a", 3.0)
+        program.add_variable("b", -1.0)
+        program.add_variable("c", 2.0)
+        solution = program.solve()
+        assert solution.assignment == {"a": 1, "b": 0, "c": 1}
+        assert solution.objective == pytest.approx(5.0)
+
+    def test_exactly_one_constraint(self):
+        program = IntegerProgram()
+        for name, weight in (("x1", 1.0), ("x2", 5.0), ("x3", 3.0)):
+            program.add_variable(name, weight)
+        program.add_constraint({"x1": 1, "x2": 1, "x3": 1}, Sense.EQ, 1.0)
+        solution = program.solve()
+        assert solution.assignment["x2"] == 1
+        assert sum(solution.assignment.values()) == 1
+
+    def test_knapsack_style(self):
+        # values 6,5,4 with weights 3,2,2, capacity 4 → pick items 2+3.
+        program = IntegerProgram()
+        program.add_variable("i1", 6.0)
+        program.add_variable("i2", 5.0)
+        program.add_variable("i3", 4.0)
+        program.add_constraint({"i1": 3, "i2": 2, "i3": 2}, Sense.LE, 4.0)
+        solution = program.solve()
+        assert solution.objective == pytest.approx(9.0)
+        assert solution.assignment == {"i1": 0, "i2": 1, "i3": 1}
+
+    def test_ge_constraint(self):
+        program = IntegerProgram()
+        program.add_variable("a", -2.0)
+        program.add_variable("b", -5.0)
+        program.add_constraint({"a": 1, "b": 1}, Sense.GE, 1.0)
+        solution = program.solve()
+        assert solution.assignment == {"a": 1, "b": 0}
+
+    def test_infeasible(self):
+        program = IntegerProgram()
+        program.add_variable("a", 1.0)
+        program.add_constraint({"a": 1}, Sense.GE, 2.0)
+        with pytest.raises(InfeasibleError):
+            program.solve()
+
+    def test_pair_linearization(self):
+        # y = x1 AND x2 linearized: y ≤ x1, y ≤ x2.
+        program = IntegerProgram()
+        program.add_variable("x1", 0.1)
+        program.add_variable("x2", 0.1)
+        program.add_variable("y", 1.0)
+        program.add_constraint({"y": 1, "x1": -1}, Sense.LE, 0.0)
+        program.add_constraint({"y": 1, "x2": -1}, Sense.LE, 0.0)
+        solution = program.solve()
+        assert solution.assignment == {"x1": 1, "x2": 1, "y": 1}
+
+    def test_pair_variable_not_free(self):
+        # With x2 forced off, y must be off too.
+        program = IntegerProgram()
+        program.add_variable("x1", 0.1)
+        program.add_variable("x2", -5.0)
+        program.add_variable("y", 1.0)
+        program.add_constraint({"y": 1, "x1": -1}, Sense.LE, 0.0)
+        program.add_constraint({"y": 1, "x2": -1}, Sense.LE, 0.0)
+        solution = program.solve()
+        assert solution.assignment["y"] == 0
+
+    def test_duplicate_variable_rejected(self):
+        program = IntegerProgram()
+        program.add_variable("a", 1.0)
+        with pytest.raises(ILPError):
+            program.add_variable("a", 2.0)
+
+    def test_unknown_variable_in_constraint(self):
+        program = IntegerProgram()
+        program.add_variable("a", 1.0)
+        with pytest.raises(ILPError):
+            program.add_constraint({"zzz": 1}, Sense.LE, 1.0)
+
+    def test_empty_constraint_rejected(self):
+        program = IntegerProgram()
+        with pytest.raises(ILPError):
+            program.add_constraint({}, Sense.LE, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    objectives=st.lists(
+        st.floats(min_value=-5, max_value=5, allow_nan=False), min_size=1, max_size=8
+    ),
+    capacity=st.integers(min_value=0, max_value=8),
+)
+def test_matches_brute_force(objectives, capacity):
+    """B&B agrees with brute-force enumeration on random cardinality-
+    constrained problems."""
+    program = IntegerProgram()
+    names = [f"x{i}" for i in range(len(objectives))]
+    for name, objective in zip(names, objectives):
+        program.add_variable(name, objective)
+    program.add_constraint({name: 1.0 for name in names}, Sense.LE, float(capacity))
+    solution = program.solve()
+
+    best = float("-inf")
+    for mask in range(2 ** len(objectives)):
+        bits = [(mask >> i) & 1 for i in range(len(objectives))]
+        if sum(bits) <= capacity:
+            value = sum(b * o for b, o in zip(bits, objectives))
+            best = max(best, value)
+    assert solution.objective == pytest.approx(best)

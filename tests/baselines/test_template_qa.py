@@ -1,0 +1,50 @@
+"""Tests for the template-based baseline."""
+
+import pytest
+
+from repro.baselines import TemplateQA
+from repro.rdf import IRI
+
+
+@pytest.fixture(scope="module")
+def template(kg, dictionary):
+    return TemplateQA(kg, dictionary)
+
+
+def answer_names(result):
+    return sorted(
+        term.local_name if isinstance(term, IRI) else str(term)
+        for term in result.answers
+    )
+
+
+class TestTemplates:
+    def test_who_is_the_x_of_y(self, template):
+        result = template.answer("Who is the mayor of Berlin?")
+        assert answer_names(result) == ["Klaus_Wowereit"]
+
+    def test_give_me_all_x_of_y(self, template):
+        result = template.answer("Give me all members of Prodigy.")
+        assert set(answer_names(result)) == {
+            "Liam_Howlett", "Keith_Flint", "Maxim_(musician)",
+        }
+
+    def test_who_verb_entity(self, template):
+        result = template.answer("Who founded Intel?")
+        assert set(answer_names(result)) == {"Robert_Noyce", "Gordon_Moore"}
+
+    def test_untemplated_question_fails(self, template):
+        result = template.answer(
+            "Who was married to an actor that played in Philadelphia?"
+        )
+        assert result.failure == "relation_extraction"
+        assert result.answers == []
+
+    def test_unknown_entity_fails(self, template):
+        result = template.answer("Who is the mayor of Gotham?")
+        assert result.failure in ("entity_linking", "no_match")
+
+    def test_timings_recorded(self, template):
+        result = template.answer("Who is the mayor of Berlin?")
+        assert result.understanding_time >= 0
+        assert result.evaluation_time >= 0

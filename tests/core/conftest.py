@@ -1,0 +1,26 @@
+"""Shared fixtures for core-pipeline tests: the mini KG and its dictionary.
+
+Module-scoped because mining the dictionary walks the whole graph; the
+objects are treated as read-only by every test.
+"""
+
+import pytest
+
+from repro.core import GAnswer
+from repro.datasets import build_dbpedia_mini, build_phrase_dataset
+from repro.paraphrase import ParaphraseMiner
+
+
+@pytest.fixture(scope="session")
+def kg():
+    return build_dbpedia_mini()
+
+
+@pytest.fixture(scope="session")
+def dictionary(kg):
+    return ParaphraseMiner(kg, max_path_length=4, top_k=3).mine(build_phrase_dataset())
+
+
+@pytest.fixture(scope="session")
+def system(kg, dictionary):
+    return GAnswer(kg, dictionary)

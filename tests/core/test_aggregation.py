@@ -1,0 +1,95 @@
+"""Tests for the superlative post-processing extension."""
+
+import pytest
+
+from repro.core.aggregation import SUPERLATIVE_ATTRIBUTES, _attribute_value, apply_superlative
+from repro.core.pipeline import Answer
+from repro.rdf import IRI, Literal
+
+
+def make_answer(question, *answer_terms):
+    answer = Answer(question=question)
+    answer.answers = list(answer_terms)
+    answer.failure = "aggregation"
+    return answer
+
+
+class TestAttributeValue:
+    def test_numeric_attribute(self, kg):
+        value = _attribute_value(kg, IRI("res:Michael_Jordan"), ("height",))
+        assert value == pytest.approx(1.98)
+
+    def test_date_attribute_is_string(self, kg):
+        value = _attribute_value(kg, IRI("res:Raheem_Sterling"), ("birthDate",))
+        assert value == "1994-12-08"
+
+    def test_fallback_predicate_order(self, kg):
+        value = _attribute_value(kg, IRI("res:Zugspitze"), ("height", "elevation"))
+        assert value == pytest.approx(2962)
+
+    def test_missing_attribute(self, kg):
+        assert _attribute_value(kg, IRI("res:Berlin"), ("height",)) is None
+
+    def test_literal_answer_has_no_attribute(self, kg):
+        assert _attribute_value(kg, Literal("1.98"), ("height",)) is None
+
+    def test_unknown_entity(self, kg):
+        assert _attribute_value(kg, IRI("res:Nobody"), ("height",)) is None
+
+
+class TestApplySuperlative:
+    def test_youngest_picks_latest_birthdate(self, kg):
+        answer = make_answer(
+            "Who is the youngest player in the Premier League?",
+            IRI("res:Ryan_Giggs"), IRI("res:Wayne_Rooney"), IRI("res:Raheem_Sterling"),
+        )
+        apply_superlative(kg, answer.question, answer)
+        assert [str(a) for a in answer.answers] == ["res:Raheem_Sterling"]
+        assert answer.failure is None
+
+    def test_oldest_picks_earliest_birthdate(self, kg):
+        answer = make_answer(
+            "Who is the oldest player in the Premier League?",
+            IRI("res:Ryan_Giggs"), IRI("res:Raheem_Sterling"),
+        )
+        apply_superlative(kg, answer.question, answer)
+        assert [str(a) for a in answer.answers] == ["res:Ryan_Giggs"]
+
+    def test_largest_population(self, kg):
+        answer = make_answer(
+            "What is the largest city in Germany?",
+            IRI("res:Berlin"), IRI("res:Munich"), IRI("res:Hamburg"),
+        )
+        apply_superlative(kg, answer.question, answer)
+        assert [str(a) for a in answer.answers] == ["res:Berlin"]
+
+    def test_longest_river(self, kg):
+        answer = make_answer(
+            "What is the longest river in Germany?",
+            IRI("res:Rhine"), IRI("res:Elbe"), IRI("res:Weser"),
+        )
+        apply_superlative(kg, answer.question, answer)
+        assert [str(a) for a in answer.answers] == ["res:Rhine"]
+
+    def test_no_superlative_is_noop(self, kg):
+        answer = make_answer("Who plays?", IRI("res:Ryan_Giggs"), IRI("res:Wayne_Rooney"))
+        apply_superlative(kg, answer.question, answer)
+        assert len(answer.answers) == 2
+        assert answer.failure == "aggregation"
+
+    def test_no_attribute_values_is_noop(self, kg):
+        answer = make_answer(
+            "What is the largest nickname?", Literal("Fog City"), Literal("The Golden City")
+        )
+        apply_superlative(kg, answer.question, answer)
+        assert len(answer.answers) == 2
+
+    def test_empty_answers_is_noop(self, kg):
+        answer = make_answer("Who is the youngest player?")
+        apply_superlative(kg, answer.question, answer)
+        assert answer.answers == []
+
+    def test_lexicon_covers_common_superlatives(self):
+        for word in ("youngest", "oldest", "largest", "smallest", "highest",
+                     "tallest", "longest", "shortest"):
+            assert word in SUPERLATIVE_ATTRIBUTES

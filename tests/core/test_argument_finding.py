@@ -1,0 +1,105 @@
+"""Tests for argument attachment and heuristic Rules 1–4 (Section 4.1.2)."""
+
+import pytest
+
+from repro.core.argument_finding import ArgumentFinder
+from repro.core.relation_extraction import RelationExtractor
+from repro.nlp import parse_question
+from repro.paraphrase import ParaphraseDictionary, PredicateMapping
+
+
+def setup(question, *phrases):
+    dictionary = ParaphraseDictionary()
+    for phrase in phrases:
+        dictionary.add(tuple(phrase.split()), [PredicateMapping((1,), 1.0)])
+    tree = parse_question(question)
+    embeddings = RelationExtractor(dictionary).find_embeddings(tree)
+    assert embeddings, f"no embedding for {phrases} in {question!r}"
+    return tree, embeddings
+
+
+class TestBaseRecognition:
+    def test_subject_and_object_relations(self):
+        tree, (emb,) = setup("Who was married to an actor?", "be marry to")
+        result = ArgumentFinder().find_arguments(tree, emb)
+        assert result.arg1.lower == "who"
+        assert result.arg2.lower == "actor"
+        assert result.rules_used == frozenset()
+
+    def test_relative_clause_subject(self):
+        tree, embeddings = setup(
+            "Who was married to an actor that played in Philadelphia?",
+            "be marry to", "play in",
+        )
+        played = [e for e in embeddings if e.phrase_words == ("play", "in")][0]
+        result = ArgumentFinder().find_arguments(tree, played)
+        assert result.arg1.lower == "that"
+        assert result.arg2.lower == "philadelphia"
+
+    def test_copular_arguments(self):
+        tree, (emb,) = setup("Who is the mayor of Berlin?", "be the mayor of")
+        result = ArgumentFinder().find_arguments(tree, emb)
+        assert result.arg1.lower == "who"
+        assert result.arg2.lower == "berlin"
+
+    def test_nearest_candidate_wins(self):
+        tree, (emb,) = setup("Who founded Intel?", "found")
+        result = ArgumentFinder().find_arguments(tree, emb)
+        assert result.arg1.lower == "who"
+        assert result.arg2.lower == "intel"
+
+
+class TestHeuristicRules:
+    def test_rule2_modifier_parent(self):
+        # "movies directed by Coppola": arg1 comes from the partmod parent.
+        tree, (emb,) = setup(
+            "Give me all movies directed by Francis Ford Coppola.", "direct by"
+        )
+        result = ArgumentFinder().find_arguments(tree, emb)
+        assert result.arg1.lower == "movies"
+        assert result.arg2.lower == "coppola"
+        assert "rule2" in result.rules_used
+
+    def test_rule2_root_as_argument(self):
+        # "companies in Munich": the embedding root itself is arg1.
+        tree, (emb,) = setup("Give me all companies in Munich.", "company in")
+        result = ArgumentFinder().find_arguments(tree, emb)
+        assert result.arg1.lower == "companies"
+        assert result.arg2.lower == "munich"
+        assert "rule2" in result.rules_used
+
+    def test_rule3_coordinated_subject(self):
+        tree, embeddings = setup(
+            "Give me all people that were born in Vienna and died in Berlin.",
+            "be bear in", "die in",
+        )
+        died = [e for e in embeddings if e.phrase_words == ("die", "in")][0]
+        result = ArgumentFinder().find_arguments(tree, died)
+        assert result.arg1.lower == "that"
+        assert "rule3" in result.rules_used
+
+    def test_rule4_wh_fallback(self):
+        tree, (emb,) = setup("How tall is Michael Jordan?", "be tall")
+        result = ArgumentFinder().find_arguments(tree, emb)
+        assert result.arg1.lower == "jordan"
+        assert result.arg2.lower == "how"
+        assert "rule4" in result.rules_used
+
+    def test_rules_disabled_loses_arguments(self):
+        # The Table 9 ablation: without rules, partmod relations die.
+        tree, (emb,) = setup(
+            "Give me all movies directed by Francis Ford Coppola.", "direct by"
+        )
+        assert ArgumentFinder(use_heuristics=False).find_arguments(tree, emb) is None
+
+    def test_rules_disabled_keeps_plain_cases(self):
+        tree, (emb,) = setup("Who was married to an actor?", "be marry to")
+        result = ArgumentFinder(use_heuristics=False).find_arguments(tree, emb)
+        assert result is not None
+        assert result.arg1.lower == "who"
+
+    def test_unfindable_arguments_rejected(self):
+        # A bare entity mention has no arguments at all; the relation
+        # phrase is discarded (Section 4.1.2's final fallback).
+        tree, (emb,) = setup("actor?", "actor")
+        assert ArgumentFinder().find_arguments(tree, emb) is None

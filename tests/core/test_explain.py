@@ -1,0 +1,52 @@
+"""Tests for the derivation-trace explain API."""
+
+import pytest
+
+from repro.core.explain import explain
+
+
+class TestExplain:
+    def test_successful_answer_trace(self, system, kg):
+        answer = system.answer(
+            "Who was married to an actor that played in Philadelphia?"
+        )
+        trace = explain(kg, answer)
+        assert "Semantic query graph" in trace
+        assert "be marry to" in trace
+        assert "Melanie_Griffith" in trace
+        assert "Answer:" in trace
+        assert "SELECT DISTINCT" in trace
+
+    def test_confidences_shown(self, system, kg):
+        answer = system.answer("Who is the mayor of Berlin?")
+        trace = explain(kg, answer)
+        assert "δ=" in trace
+
+    def test_failure_trace(self, system, kg):
+        answer = system.answer("Give me all launch pads operated by NASA.")
+        trace = explain(kg, answer)
+        assert "failure: relation_extraction" in trace
+
+    def test_no_match_trace(self, system, kg):
+        answer = system.answer("Who is the wife of Tom Hanks?")
+        trace = explain(kg, answer)
+        assert "No subgraph match" in trace
+
+    def test_boolean_trace(self, system, kg):
+        answer = system.answer("Is Michelle Obama the wife of Barack Obama?")
+        assert "Answer: yes" in explain(kg, answer)
+
+    def test_rules_reported(self, system, kg):
+        answer = system.answer("Give me all movies directed by Francis Ford Coppola.")
+        assert "rule2" in explain(kg, answer)
+
+    def test_max_matches_truncation(self, system, kg):
+        answer = system.answer("Which countries are connected by the Rhine?")
+        trace = explain(kg, answer, max_matches=1)
+        if len(answer.matches) > 1:
+            assert "more match(es)" in trace
+
+    def test_multi_hop_path_rendered(self, system, kg):
+        answer = system.answer("Who is the youngest player in the Premier League?")
+        trace = explain(kg, answer)
+        assert "team·league" in trace

@@ -1,0 +1,139 @@
+"""Tests for coreference resolution and semantic-query-graph assembly."""
+
+import pytest
+
+from repro.core import build_semantic_query_graph, resolve_coreference
+from repro.core.demonyms import extract_demonym_relations
+from repro.core.relation_extraction import RelationExtractor
+from repro.core.argument_finding import ArgumentFinder
+from repro.core.semantic_graph import SemanticRelation
+from repro.nlp import parse_question
+from repro.paraphrase import ParaphraseDictionary, PredicateMapping
+
+
+def relations_for(question, *phrases):
+    dictionary = ParaphraseDictionary()
+    for phrase in phrases:
+        dictionary.add(tuple(phrase.split()), [PredicateMapping((1,), 1.0)])
+    tree = parse_question(question)
+    finder = ArgumentFinder()
+    relations = []
+    for embedding in RelationExtractor(dictionary).find_embeddings(tree):
+        result = finder.find_arguments(tree, embedding)
+        if result is not None:
+            relations.append(
+                SemanticRelation(
+                    embedding.phrase_words, result.arg1, result.arg2, embedding.nodes
+                )
+            )
+    return tree, relations
+
+
+class TestCoreference:
+    def test_relative_pronoun_resolves_to_governor(self):
+        tree, _ = relations_for(
+            "Who was married to an actor that played in Philadelphia?",
+            "be marry to", "play in",
+        )
+        that = tree.find_nodes(word="that")[0]
+        assert resolve_coreference(that).lower == "actor"
+
+    def test_coordinated_clause_resolves_through_conj(self):
+        tree, _ = relations_for(
+            "Give me all people that were born in Vienna and died in Berlin.",
+            "be bear in", "die in",
+        )
+        that = tree.find_nodes(word="that")[0]
+        assert resolve_coreference(that).lower == "people"
+
+    def test_wh_determiner_resolves_to_noun(self):
+        tree, _ = relations_for("Which cities does the Weser flow through?", "flow through")
+        which = tree.find_nodes(word="which")[0]
+        assert resolve_coreference(which).lower == "cities"
+
+    def test_plain_noun_resolves_to_itself(self):
+        tree, _ = relations_for("Who is the mayor of Berlin?", "be the mayor of")
+        berlin = tree.find_nodes(word="berlin")[0]
+        assert resolve_coreference(berlin) is berlin
+
+
+class TestGraphBuilding:
+    def test_running_example_shares_vertex(self):
+        """Figure 2: 'actor' and 'that' merge into one vertex, giving a
+        3-vertex, 2-edge path Q^S."""
+        _, relations = relations_for(
+            "Who was married to an actor that played in Philadelphia?",
+            "be marry to", "play in",
+        )
+        graph = build_semantic_query_graph(relations)
+        assert len(graph.vertices) == 3
+        assert len(graph.edges) == 2
+        shared = [
+            v for v in graph.vertices.values() if v.phrase == "actor"
+        ]
+        assert len(shared) == 1
+        incident = [
+            e for e in graph.edges
+            if shared[0].vertex_id in (e.source, e.target)
+        ]
+        assert len(incident) == 2
+
+    def test_wh_vertex_flag(self):
+        _, relations = relations_for("Who is the mayor of Berlin?", "be the mayor of")
+        graph = build_semantic_query_graph(relations)
+        wh = graph.wh_vertices()
+        assert len(wh) == 1
+        assert wh[0].phrase == "who"
+
+    def test_wh_determined_noun_not_wh_vertex(self):
+        _, relations = relations_for(
+            "Which cities does the Weser flow through?", "flow through"
+        )
+        graph = build_semantic_query_graph(relations)
+        phrases = {v.phrase for v in graph.vertices.values()}
+        assert "cities" in phrases
+        assert not graph.wh_vertices()
+
+    def test_degenerate_self_loop_dropped(self):
+        tree = parse_question("Who was married to an actor?")
+        actor = tree.find_nodes(word="actor")[0]
+        relation = SemanticRelation(("fake",), actor, actor, (actor,))
+        graph = build_semantic_query_graph([relation])
+        assert graph.edges == []
+
+    def test_multiword_phrase_on_vertex(self):
+        _, relations = relations_for(
+            "Who was the successor of John F. Kennedy?", "be the successor of"
+        )
+        graph = build_semantic_query_graph(relations)
+        phrases = {v.phrase for v in graph.vertices.values()}
+        assert "John F. Kennedy" in phrases
+
+
+class TestDemonyms:
+    def test_argentine_films(self):
+        tree = parse_question("Give me all Argentine films.")
+        relations = extract_demonym_relations(tree)
+        assert len(relations) == 1
+        relation = relations[0]
+        assert relation.phrase_words == ("demonym",)
+        assert relation.arg1.lower == "films"
+        assert relation.arg2.word == "Argentina"
+
+    def test_demonym_on_proper_noun_ignored(self):
+        # "the former Dutch queen Juliana" modifies a name, not a class.
+        tree = parse_question("In which city was the former Dutch queen Juliana buried?")
+        assert extract_demonym_relations(tree) == []
+
+    def test_used_indexes_respected(self):
+        tree = parse_question("Give me all Argentine films.")
+        argentine = tree.find_nodes(word="argentine")[0]
+        taken = frozenset({argentine.index})
+        assert extract_demonym_relations(tree, taken) == []
+
+    def test_vertex_phrase_drops_demonym(self):
+        from repro.core.graph_builder import _vertex_phrase
+
+        tree = parse_question("Give me all Argentine films.")
+        films = tree.find_nodes(word="films")[0]
+        assert _vertex_phrase(films) == "films"

@@ -1,0 +1,52 @@
+"""Integration at scale: the full benchmark on the distractor-padded KG.
+
+The headline numbers must be invariant to graph size — distractors grow
+every candidate list but never participate in matches.
+"""
+
+import pytest
+
+from repro.core import GAnswer
+from repro.datasets import build_dbpedia_mini, build_phrase_dataset, qald_questions
+from repro.eval import evaluate_system
+from repro.paraphrase import ParaphraseMiner
+
+
+@pytest.mark.slow
+class TestScaledBenchmark:
+    @pytest.fixture(scope="class")
+    def padded_run(self):
+        kg = build_dbpedia_mini(distractors_per_entity=50)
+        dictionary = ParaphraseMiner(kg, max_path_length=4, top_k=3).mine(
+            build_phrase_dataset()
+        )
+        return evaluate_system(GAnswer(kg, dictionary), qald_questions(), "padded")
+
+    def test_right_count_invariant(self, padded_run):
+        assert padded_run.summary.right == 32
+
+    def test_same_questions_right(self, padded_run):
+        from repro.experiments.paper import TABLE11_QUESTION_IDS
+
+        measured = {o.question.qid for o in padded_run.right_questions()}
+        assert measured == set(TABLE11_QUESTION_IDS)
+
+    def test_failure_shape_invariant(self, padded_run):
+        counts = padded_run.failure_counts()
+        assert counts["aggregation"] > counts["entity_linking"] > counts[
+            "relation_extraction"
+        ]
+
+
+class TestParameterValidation:
+    def test_k_must_be_positive(self):
+        from repro.core.top_k import TopKSearch
+        from repro.datasets import build_dbpedia_mini
+
+        kg = build_dbpedia_mini()
+        with pytest.raises(ValueError):
+            TopKSearch(kg, k=0)
+
+    def test_ganswer_k_validated(self, kg, dictionary):
+        with pytest.raises(ValueError):
+            GAnswer(kg, dictionary, k=0)

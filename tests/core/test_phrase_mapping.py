@@ -1,0 +1,109 @@
+"""Unit tests for phrase mapping: wildcards, filters, candidate lists."""
+
+import pytest
+
+from repro.core.phrase_mapping import PhraseMapper
+from repro.core.semantic_graph import SemanticQueryGraph
+from repro.nlp import parse_question
+from repro.rdf import IRI, Literal
+
+
+def build_graph(question, arg_words):
+    """A Q^S whose vertices are the named words of the parsed question."""
+    tree = parse_question(question)
+    graph = SemanticQueryGraph()
+    nodes = [tree.find_nodes(word=word)[0] for word in arg_words]
+    from repro.core.graph_builder import _is_wh_vertex, _vertex_phrase
+
+    vertices = [
+        graph.add_vertex(node, _vertex_phrase(node), _is_wh_vertex(node))
+        for node in nodes
+    ]
+    if len(vertices) == 2:
+        graph.add_edge(vertices[0], vertices[1], ("fake",))
+    return graph, vertices
+
+
+class TestVertexMapping:
+    def test_wh_vertex_is_wildcard(self, kg, dictionary):
+        mapper = PhraseMapper(kg, dictionary)
+        graph, (who, berlin) = build_graph("Who is the mayor of Berlin?", ["who", "berlin"])
+        space = mapper.build_candidate_space(graph)
+        assert space.vertices[who.vertex_id].wildcard
+        assert not space.vertices[berlin.vertex_id].wildcard
+
+    def test_entity_vertex_candidates(self, kg, dictionary):
+        mapper = PhraseMapper(kg, dictionary)
+        graph, (who, berlin) = build_graph("Who is the mayor of Berlin?", ["who", "berlin"])
+        space = mapper.build_candidate_space(graph)
+        candidates = space.vertices[berlin.vertex_id].candidates
+        assert kg.id_of(IRI("res:Berlin")) in {c.node_id for c in candidates}
+
+    def test_unlinkable_common_noun_becomes_wildcard(self, kg, dictionary):
+        mapper = PhraseMapper(kg, dictionary)
+        graph, vertices = build_graph(
+            "Which country does the creator of Miffy come from?", ["creator", "miffy"]
+        )
+        space = mapper.build_candidate_space(graph)
+        assert space.vertices[vertices[0].vertex_id].wildcard
+
+    def test_unlinkable_proper_noun_stays_empty(self, kg, dictionary):
+        mapper = PhraseMapper(kg, dictionary)
+        graph, vertices = build_graph(
+            "Who is the front man of Nirvana?", ["who", "nirvana"]
+        )
+        space = mapper.build_candidate_space(graph)
+        nirvana = space.vertices[vertices[1].vertex_id]
+        assert not nirvana.wildcard
+        assert nirvana.candidates == []
+
+
+class TestWildcardFilters:
+    @pytest.fixture
+    def mapper(self, kg, dictionary):
+        return PhraseMapper(kg, dictionary)
+
+    def literal_id(self, kg, lexical):
+        ids = kg.literal_ids_by_lexical(lexical)
+        assert ids
+        return min(ids)
+
+    def test_when_filter_accepts_dates(self, mapper, kg):
+        accepts = mapper._wildcard_filter("when")
+        assert accepts(self.literal_id(kg, "2009-06-25"))
+        assert not accepts(self.literal_id(kg, "1.98"))
+        assert not accepts(kg.id_of(IRI("res:Berlin")))
+
+    def test_how_filter_accepts_numbers(self, mapper, kg):
+        accepts = mapper._wildcard_filter("how")
+        assert accepts(self.literal_id(kg, "1.98"))
+        assert not accepts(self.literal_id(kg, "Fog City"))
+
+    def test_who_filter_rejects_literals(self, mapper, kg):
+        accepts = mapper._wildcard_filter("who")
+        assert accepts(kg.id_of(IRI("res:Berlin")))
+        assert not accepts(self.literal_id(kg, "1.98"))
+
+    def test_what_is_unrestricted(self, mapper):
+        assert mapper._wildcard_filter("what") is None
+
+
+class TestLongestMatchLinking:
+    def test_extension_fires_on_exact_label(self, dictionary):
+        from repro.datasets.yago_mini import build_yago_mini
+
+        yago_kg = build_yago_mini()
+        mapper = PhraseMapper(yago_kg, dictionary)
+        tree = parse_question("Who won the Nobel Prize in Chemistry?")
+        prize = tree.find_nodes(word="prize")[0]
+        graph = SemanticQueryGraph()
+        vertex = graph.add_vertex(prize, prize.phrase(), False)
+        assert mapper._longest_linkable_phrase(vertex) == "Nobel Prize in Chemistry"
+
+    def test_no_extension_without_exact_label(self, kg, dictionary):
+        mapper = PhraseMapper(kg, dictionary)
+        tree = parse_question("Give me all companies in Munich.")
+        companies = tree.find_nodes(word="companies")[0]
+        graph = SemanticQueryGraph()
+        vertex = graph.add_vertex(companies, companies.phrase(), False)
+        assert mapper._longest_linkable_phrase(vertex) == "companies"

@@ -1,0 +1,65 @@
+"""End-to-end tests for the possessive construction (the paper's
+subject-like relations include ``poss``, Section 4.1.2)."""
+
+import pytest
+
+from repro.nlp import parse_question
+from repro.nlp.tokenizer import tokenize
+from repro.rdf import IRI
+
+
+def answer_names(result):
+    return sorted(
+        term.local_name if isinstance(term, IRI) else str(term)
+        for term in result.answers
+    )
+
+
+class TestTokenization:
+    def test_clitic_split(self):
+        texts = [t.text for t in tokenize("Margaret Thatcher's children")]
+        assert texts == ["Margaret", "Thatcher", "'s", "children"]
+
+    def test_internal_apostrophe_names_kept(self):
+        texts = [t.text for t in tokenize("Who is O'Brien?")]
+        assert "O'Brien" in texts
+
+    def test_contractions_still_expand(self):
+        texts = [t.text for t in tokenize("Who's the mayor?")]
+        assert texts[:2] == ["Who", "is"]
+
+
+class TestParsing:
+    def test_poss_relation(self):
+        tree = parse_question("Who are Margaret Thatcher's children?")
+        edges = {(h.lower, rel, d.lower) for h, rel, d in tree.edges()}
+        assert ("children", "poss", "thatcher") in edges
+        assert ("thatcher", "possessive", "'s") in edges
+
+    def test_possessor_keeps_compound(self):
+        tree = parse_question("Who are Margaret Thatcher's children?")
+        thatcher = tree.find_nodes(word="thatcher")[0]
+        assert thatcher.phrase() == "Margaret Thatcher"
+
+    def test_head_phrase_excludes_possessor(self):
+        tree = parse_question("Who are Margaret Thatcher's children?")
+        children = tree.find_nodes(word="children")[0]
+        assert children.phrase() == "children"
+
+
+class TestEndToEnd:
+    def test_copular_possessive(self, system):
+        result = system.answer("Who are Margaret Thatcher's children?")
+        assert answer_names(result) == ["Carol_Thatcher", "Mark_Thatcher"]
+
+    def test_imperative_possessive(self, system):
+        result = system.answer("Give me Margaret Thatcher's children.")
+        assert answer_names(result) == ["Carol_Thatcher", "Mark_Thatcher"]
+
+    def test_possessive_with_literal_answer(self, system):
+        result = system.answer("What is Angela Merkel's birth name?")
+        assert answer_names(result) == ["Angela Dorothea Kasner"]
+
+    def test_of_form_still_works(self, system):
+        result = system.answer("List the children of Margaret Thatcher.")
+        assert answer_names(result) == ["Carol_Thatcher", "Mark_Thatcher"]

@@ -1,0 +1,78 @@
+"""Robustness: the pipeline must never raise on arbitrary question text.
+
+A QA endpoint sees malformed input constantly; every path through the
+pipeline ends in an Answer object with a failure tag, not an exception.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import Answer
+
+
+_WORDS = [
+    "who", "what", "which", "the", "of", "in", "married", "mayor", "Berlin",
+    "Philadelphia", "give", "me", "all", "that", "played", "actor", "is",
+    "was", "did", "and", "to", "by", "?", ".", ",", "76ers", "U.S.", "how",
+]
+
+
+class TestArbitraryInput:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.sampled_from(_WORDS), min_size=0, max_size=12))
+    def test_word_salad_never_raises(self, system, words):
+        result = system.answer(" ".join(words))
+        assert isinstance(result, Answer)
+        assert result.failure is None or isinstance(result.failure, str)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(max_size=60))
+    def test_random_text_never_raises(self, system, text):
+        result = system.answer(text)
+        assert isinstance(result, Answer)
+
+    @pytest.mark.parametrize(
+        "weird",
+        [
+            "",
+            "?",
+            "???",
+            "   ",
+            "Who",
+            "a b c d e f g h i j k l m n o p",
+            "Who is the mayor of the mayor of the mayor of Berlin?",
+            "Is is is is?",
+            "WHO IS THE MAYOR OF BERLIN?",
+            "who is the mayor of berlin",       # no capitals, no question mark
+            "Wer ist der Bürgermeister von Berlin?",  # not English
+            "SELECT ?x WHERE { ?x ?y ?z }",      # SPARQL pasted as a question
+            "Who is the mayor of Berlin? Who is the mayor of Berlin?",
+            "🙂 who is the mayor of Berlin 🙂",
+        ],
+    )
+    def test_weird_inputs_never_raise(self, system, weird):
+        result = system.answer(weird)
+        assert isinstance(result, Answer)
+
+    def test_lowercase_question_still_answers(self, system):
+        # Entity linking is case-insensitive; a sloppy question still works.
+        result = system.answer("who is the mayor of berlin")
+        assert [str(a) for a in result.answers] == ["res:Klaus_Wowereit"]
+
+    def test_repeated_answers_are_stable(self, system):
+        question = "Who is the mayor of Berlin?"
+        first = system.answer(question)
+        second = system.answer(question)
+        assert [str(a) for a in first.answers] == [str(a) for a in second.answers]
+
+
+class TestDeannaRobustness:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.sampled_from(_WORDS), min_size=0, max_size=10))
+    def test_deanna_never_raises(self, kg, dictionary, words):
+        from repro.baselines import Deanna
+
+        deanna = Deanna(kg, dictionary)
+        result = deanna.answer(" ".join(words))
+        assert isinstance(result, Answer)

@@ -1,0 +1,72 @@
+"""Unit tests for the semantic query graph structures."""
+
+import pytest
+
+from repro.core.semantic_graph import SemanticQueryGraph, SemanticRelation
+from repro.nlp import parse_question
+
+
+@pytest.fixture
+def tree():
+    return parse_question("Who was married to an actor that played in Philadelphia?")
+
+
+def node(tree, word):
+    return tree.find_nodes(word=word)[0]
+
+
+class TestSemanticQueryGraph:
+    def test_add_vertex_assigns_sequential_ids(self, tree):
+        graph = SemanticQueryGraph()
+        v0 = graph.add_vertex(node(tree, "who"), "who", True)
+        v1 = graph.add_vertex(node(tree, "actor"), "actor", False)
+        assert (v0.vertex_id, v1.vertex_id) == (0, 1)
+
+    def test_add_vertex_idempotent_per_node(self, tree):
+        graph = SemanticQueryGraph()
+        first = graph.add_vertex(node(tree, "actor"), "actor", False)
+        second = graph.add_vertex(node(tree, "actor"), "actor", False)
+        assert first is second
+        assert len(graph.vertices) == 1
+
+    def test_vertex_for_node(self, tree):
+        graph = SemanticQueryGraph()
+        actor = node(tree, "actor")
+        vertex = graph.add_vertex(actor, "actor", False)
+        assert graph.vertex_for_node(actor) is vertex
+        assert graph.vertex_for_node(node(tree, "who")) is None
+
+    def test_edges_are_directed_arg1_to_arg2(self, tree):
+        graph = SemanticQueryGraph()
+        who = graph.add_vertex(node(tree, "who"), "who", True)
+        actor = graph.add_vertex(node(tree, "actor"), "actor", False)
+        edge = graph.add_edge(who, actor, ("be", "marry", "to"))
+        assert (edge.source, edge.target) == (who.vertex_id, actor.vertex_id)
+
+    def test_wh_vertices(self, tree):
+        graph = SemanticQueryGraph()
+        graph.add_vertex(node(tree, "who"), "who", True)
+        graph.add_vertex(node(tree, "actor"), "actor", False)
+        assert [v.phrase for v in graph.wh_vertices()] == ["who"]
+
+    def test_repr_readable(self, tree):
+        graph = SemanticQueryGraph()
+        who = graph.add_vertex(node(tree, "who"), "who", True)
+        actor = graph.add_vertex(node(tree, "actor"), "actor", False)
+        graph.add_edge(who, actor, ("be", "marry", "to"))
+        text = repr(graph)
+        assert "who" in text and "be marry to" in text
+
+
+class TestSemanticRelation:
+    def test_repr(self, tree):
+        relation = SemanticRelation(
+            ("play", "in"),
+            node(tree, "that"),
+            node(tree, "philadelphia"),
+            (node(tree, "played"), node(tree, "in")),
+        )
+        text = repr(relation)
+        assert "play in" in text
+        assert "that" in text
+        assert "Philadelphia" in text

@@ -1,0 +1,57 @@
+"""Tests for the QALD training split."""
+
+import pytest
+
+from repro.datasets.qald import qald_questions, qald_train_questions
+
+
+class TestTrainSplit:
+    def test_30_questions(self):
+        assert len(qald_train_questions()) == 30
+
+    def test_ids_disjoint_from_test_split(self):
+        train_ids = {q.qid for q in qald_train_questions()}
+        test_ids = {q.qid for q in qald_questions()}
+        assert not train_ids & test_ids
+
+    def test_texts_disjoint_from_test_split(self):
+        train_texts = {q.text for q in qald_train_questions()}
+        test_texts = {q.text for q in qald_questions()}
+        assert not train_texts & test_texts
+
+    def test_mostly_answerable(self):
+        rights = [q for q in qald_train_questions() if q.category == "right"]
+        assert len(rights) >= 25  # a tuning split needs signal
+
+    def test_gold_present(self):
+        for question in qald_train_questions():
+            assert question.gold or question.is_boolean
+
+    def test_multi_hop_question_present(self):
+        # The θ-sweep depends on at least one 2-hop question (Q126).
+        texts = [q.text for q in qald_train_questions()]
+        assert any("players in the Premier League" in t for t in texts)
+
+
+class TestTrainEvaluation:
+    @pytest.fixture(scope="class")
+    def run(self):
+        from repro.core import GAnswer
+        from repro.datasets import build_dbpedia_mini, build_phrase_dataset
+        from repro.eval import evaluate_system
+        from repro.paraphrase import ParaphraseMiner
+
+        kg = build_dbpedia_mini()
+        dictionary = ParaphraseMiner(kg, max_path_length=4, top_k=3).mine(
+            build_phrase_dataset()
+        )
+        return evaluate_system(
+            GAnswer(kg, dictionary), qald_train_questions(), "train"
+        )
+
+    def test_expected_right_count(self, run):
+        assert run.summary.right == 29
+
+    def test_known_failure_is_the_population_question(self, run):
+        wrong = [o for o in run.outcomes if not o.score.is_right]
+        assert [o.question.qid for o in wrong] == [127]

@@ -1,0 +1,87 @@
+"""Tests for the YAGO2-style second knowledge base (generalization)."""
+
+import pytest
+
+from repro.core import GAnswer
+from repro.datasets.yago_mini import (
+    build_yago_mini,
+    yago,
+    yago_phrase_dataset,
+    yago_questions,
+)
+from repro.eval.metrics import term_to_gold
+from repro.paraphrase import ParaphraseMiner
+
+
+@pytest.fixture(scope="module")
+def yago_system():
+    kg = build_yago_mini()
+    dictionary = ParaphraseMiner(kg, max_path_length=4, top_k=3).mine(
+        yago_phrase_dataset()
+    )
+    return GAnswer(kg, dictionary)
+
+
+class TestKnowledgeBase:
+    def test_deterministic(self):
+        assert (
+            build_yago_mini().store.statistics()
+            == build_yago_mini().store.statistics()
+        )
+
+    def test_subclass_hierarchy(self):
+        kg = build_yago_mini()
+        einstein = kg.id_of(yago("Albert_Einstein"))
+        assert kg.has_type(einstein, kg.id_of(yago("Scientist")))
+
+    def test_vocabulary_disjoint_from_dbpedia_mini(self):
+        from repro.datasets import build_dbpedia_mini
+
+        yago_preds = {str(p) for p in build_yago_mini().store.predicates()}
+        dbp_preds = {str(p) for p in build_dbpedia_mini().store.predicates()}
+        domain_yago = {p for p in yago_preds if p.startswith("yago:")}
+        assert domain_yago
+        assert not domain_yago & dbp_preds
+
+    def test_questions_have_gold(self):
+        questions = yago_questions()
+        assert len(questions) == 20
+        for question in questions:
+            assert question.gold
+
+
+class TestGeneralization:
+    """The same untouched pipeline answers a different KB's questions."""
+
+    def test_all_20_questions_answered_exactly(self, yago_system):
+        for question in yago_questions():
+            result = yago_system.answer(question.text)
+            produced = frozenset(term_to_gold(t) for t in result.answers)
+            assert produced == question.gold, (
+                f"{question.text}: {sorted(produced)} != {sorted(question.gold)}"
+            )
+
+    def test_multi_hop_comes_from(self, yago_system):
+        # "comes from" mines the 2-hop wasBornIn·isLocatedIn path.
+        result = yago_system.answer("Which country does Marie Curie come from?")
+        assert [str(a) for a in result.answers] == ["yago:Poland"]
+
+    def test_longest_match_linking(self, yago_system):
+        # "Nobel Prize in Chemistry" must link as one mention despite the
+        # embedded preposition.
+        result = yago_system.answer("Who won the Nobel Prize in Chemistry?")
+        assert [str(a) for a in result.answers] == ["yago:Marie_Curie"]
+
+    def test_chained_relation(self, yago_system):
+        result = yago_system.answer("Where was the wife of Pierre Curie born?")
+        assert [str(a) for a in result.answers] == ["yago:Warsaw"]
+
+    def test_class_constrained_subject(self, yago_system):
+        result = yago_system.answer(
+            "Which physicists won the Nobel Prize in Physics?"
+        )
+        names = sorted(str(a) for a in result.answers)
+        assert names == [
+            "yago:Albert_Einstein", "yago:Marie_Curie", "yago:Max_Planck",
+            "yago:Niels_Bohr", "yago:Pierre_Curie",
+        ]

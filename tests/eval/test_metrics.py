@@ -1,0 +1,163 @@
+"""Tests for QALD scoring and failure classification."""
+
+import pytest
+
+from repro.datasets.qald import QALDQuestion
+from repro.eval.metrics import (
+    classify_failure,
+    question_score,
+    summarize,
+    term_to_gold,
+)
+from repro.rdf import IRI, Literal
+
+
+def q(gold=(), boolean=None, text="Who is the mayor of Berlin?", qid=1):
+    return QALDQuestion(qid, text, frozenset(gold), boolean)
+
+
+class TestTermToGold:
+    def test_iri(self):
+        assert term_to_gold(IRI("res:Berlin")) == "res:Berlin"
+
+    def test_literal(self):
+        assert term_to_gold(Literal("1.98")) == "1.98"
+
+
+class TestQuestionScore:
+    def test_exact_match(self):
+        score = question_score(q(["res:A", "res:B"]), [IRI("res:A"), IRI("res:B")], None)
+        assert score.is_right
+        assert score.f1 == 1.0
+
+    def test_partial_precision(self):
+        score = question_score(q(["res:A"]), [IRI("res:A"), IRI("res:B")], None)
+        assert score.is_partial
+        assert score.precision == 0.5
+        assert score.recall == 1.0
+
+    def test_partial_recall(self):
+        score = question_score(q(["res:A", "res:B"]), [IRI("res:A")], None)
+        assert score.is_partial
+        assert score.recall == 0.5
+
+    def test_wrong(self):
+        score = question_score(q(["res:A"]), [IRI("res:X")], None)
+        assert score.answered
+        assert score.f1 == 0.0
+        assert not score.is_right and not score.is_partial
+
+    def test_unanswered(self):
+        score = question_score(q(["res:A"]), [], None)
+        assert not score.answered
+        assert score.f1 == 0.0
+
+    def test_boolean_correct(self):
+        score = question_score(q(boolean=True), [], True)
+        assert score.is_right
+
+    def test_boolean_wrong(self):
+        score = question_score(q(boolean=True), [], False)
+        assert score.answered
+        assert not score.is_right
+
+    def test_boolean_unanswered(self):
+        score = question_score(q(boolean=True), [], None)
+        assert not score.answered
+
+    def test_literal_answers_compared_by_lexical(self):
+        score = question_score(q(["1.98"]), [Literal("1.98")], None)
+        assert score.is_right
+
+
+class TestSummarize:
+    def test_counts(self):
+        scores = [
+            question_score(q(["res:A"]), [IRI("res:A")], None),       # right
+            question_score(q(["res:A"]), [IRI("res:A"), IRI("res:B")], None),  # partial
+            question_score(q(["res:A"]), [], None),                   # unanswered
+        ]
+        summary = summarize(scores)
+        assert summary.total == 3
+        assert summary.processed == 2
+        assert summary.right == 1
+        assert summary.partial == 1
+
+    def test_macro_average_includes_unanswered(self):
+        scores = [
+            question_score(q(["res:A"]), [IRI("res:A")], None),
+            question_score(q(["res:A"]), [], None),
+        ]
+        summary = summarize(scores)
+        assert summary.precision == pytest.approx(0.5)
+        assert summary.recall == pytest.approx(0.5)
+
+    def test_empty(self):
+        summary = summarize([])
+        assert summary.total == 0
+        assert summary.f1 == 0.0
+
+
+class TestClassifyFailure:
+    def test_right_is_none(self):
+        score = question_score(q(["res:A"]), [IRI("res:A")], None)
+        assert classify_failure(q(["res:A"]), score, None) is None
+
+    def test_aggregation_wins_over_pipeline_tag(self):
+        question = q(["res:A"], text="Who is the youngest player in the league?")
+        score = question_score(question, [], None)
+        assert classify_failure(question, score, "relation_extraction") == "aggregation"
+
+    def test_linking(self):
+        question = q(["res:A"])
+        score = question_score(question, [], None)
+        assert classify_failure(question, score, "entity_linking") == "entity_linking"
+
+    def test_relation(self):
+        question = q(["res:A"])
+        score = question_score(question, [], None)
+        assert classify_failure(question, score, "relation_extraction") == "relation_extraction"
+
+    def test_partial_class(self):
+        question = q(["res:A"])
+        score = question_score(question, [IRI("res:A"), IRI("res:B")], None)
+        assert classify_failure(question, score, None) == "partial"
+
+    def test_other(self):
+        question = q(["res:A"])
+        score = question_score(question, [], None)
+        assert classify_failure(question, score, "no_match") == "other"
+
+
+class TestHarness:
+    def test_end_to_end_run(self):
+        from repro.core import GAnswer
+        from repro.datasets import build_dbpedia_mini, build_phrase_dataset, qald_questions
+        from repro.eval import evaluate_system
+        from repro.paraphrase import ParaphraseMiner
+
+        kg = build_dbpedia_mini()
+        dictionary = ParaphraseMiner(kg, max_path_length=4, top_k=3).mine(
+            build_phrase_dataset()
+        )
+        questions = qald_questions()[:10]
+        run = evaluate_system(GAnswer(kg, dictionary), questions, "gAnswer")
+        assert len(run.outcomes) == 10
+        assert run.summary.total == 10
+        assert run.outcome_for(questions[0].qid).question is questions[0]
+        with pytest.raises(KeyError):
+            run.outcome_for(12345)
+
+    def test_format_table(self):
+        from repro.eval import format_table
+
+        text = format_table(
+            ["System", "Right", "F1"],
+            [["ours", 32, 0.4], ["DEANNA", 21, 0.21]],
+            title="Table 8",
+        )
+        assert "Table 8" in text
+        assert "ours" in text
+        assert "0.40" in text
+        lines = text.splitlines()
+        assert len(lines) == 5

@@ -1,0 +1,55 @@
+"""Tests for table and bar-chart formatting."""
+
+import pytest
+
+from repro.eval.reporting import format_bar_chart, format_table
+
+
+class TestFormatTable:
+    def test_column_alignment(self):
+        text = format_table(["name", "n"], [["a", 1], ["longer", 22]])
+        data_lines = [line for line in text.splitlines() if "|" in line]
+        assert len(data_lines) == 3  # header + 2 rows
+        assert len({line.index("|") for line in data_lines}) == 1
+
+    def test_floats_two_decimals(self):
+        assert "0.33" in format_table(["x"], [[1 / 3]])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestBarChart:
+    def test_scaling_to_max(self):
+        chart = format_bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_title_and_unit(self):
+        chart = format_bar_chart(["q"], [2.0], title="Speedups", unit="x")
+        assert chart.startswith("Speedups")
+        assert "2x" in chart
+
+    def test_zero_values(self):
+        chart = format_bar_chart(["a", "b"], [0.0, 0.0])
+        assert "█" not in chart
+
+    def test_negative_clamped(self):
+        chart = format_bar_chart(["a", "b"], [-1.0, 4.0], width=8)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 0
+        assert lines[1].count("█") == 8
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            format_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert format_bar_chart([], []) == ""
+
+    def test_labels_aligned(self):
+        chart = format_bar_chart(["short", "a much longer label"], [1.0, 2.0])
+        lines = chart.splitlines()
+        assert len({line.index("|") for line in lines}) == 1

@@ -1,0 +1,152 @@
+"""Tests for the label index and entity linker on an ambiguous graph."""
+
+import pytest
+
+from repro.linking import EntityLinker, LabelIndex
+from repro.linking.index import normalize_label
+from repro.rdf import (
+    IRI,
+    KnowledgeGraph,
+    Literal,
+    RDF_TYPE,
+    RDFS_LABEL,
+    Triple,
+    TripleStore,
+)
+
+
+@pytest.fixture(scope="module")
+def kg():
+    """The paper's ambiguity setup: three Philadelphias, actor class."""
+    store = TripleStore()
+    e = lambda name: IRI(f"ex:{name}")
+
+    def entity(name, label, *, cls=None):
+        store.add(Triple(e(name), RDFS_LABEL, Literal(label)))
+        if cls is not None:
+            store.add(Triple(e(name), RDF_TYPE, e(cls)))
+
+    entity("Philadelphia", "Philadelphia", cls="City")
+    entity("Philadelphia_(film)", "Philadelphia (film)", cls="Film")
+    entity("Philadelphia_76ers", "Philadelphia 76ers", cls="BasketballTeam")
+    entity("Antonio_Banderas", "Antonio Banderas", cls="Actor")
+    entity("An_Actor_Prepares", "An Actor Prepares", cls="Book")
+    entity("Queen_Elizabeth_II", "Queen Elizabeth II", cls="Person")
+    store.add(Triple(e("Queen_Elizabeth_II"), RDFS_LABEL, Literal("Elizabeth II")))
+    store.add(Triple(e("Actor"), RDFS_LABEL, Literal("actor")))
+    store.add(Triple(e("City"), RDFS_LABEL, Literal("city")))
+    # Make the city prominent: several incident facts.
+    for i in range(6):
+        store.add(Triple(e(f"Suburb{i}"), e("locatedIn"), e("Philadelphia")))
+    store.add(
+        Triple(e("Antonio_Banderas"), e("starring"), e("Philadelphia_(film)"))
+    )
+    return KnowledgeGraph(store)
+
+
+def ids(kg, candidates):
+    return [kg.iri_of(c.node_id).local_name for c in candidates]
+
+
+class TestNormalization:
+    def test_strips_parenthetical(self):
+        assert normalize_label("Philadelphia (film)") == "philadelphia"
+
+    def test_underscores_and_case(self):
+        assert normalize_label("Antonio_Banderas") == "antonio banderas"
+
+    def test_punctuation(self):
+        assert normalize_label("U.S. state!") == "us state"
+
+
+class TestLabelIndex:
+    def test_exact_finds_all_homonyms(self, kg):
+        index = LabelIndex(kg)
+        entries = index.exact("Philadelphia")
+        assert {e.node_id for e in entries} == {
+            kg.id_of(IRI("ex:Philadelphia")),
+            kg.id_of(IRI("ex:Philadelphia_(film)")),
+        }
+
+    def test_exact_with_plural_phrase(self, kg):
+        index = LabelIndex(kg)
+        assert index.exact("actors")  # singularized to the class label
+
+    def test_by_words_partial(self, kg):
+        index = LabelIndex(kg)
+        entries = index.by_words("Philadelphia")
+        node_ids = {e.node_id for e in entries}
+        assert kg.id_of(IRI("ex:Philadelphia_76ers")) in node_ids
+
+    def test_alternate_labels_indexed(self, kg):
+        index = LabelIndex(kg)
+        entries = index.exact("Elizabeth II")
+        assert kg.id_of(IRI("ex:Queen_Elizabeth_II")) in {e.node_id for e in entries}
+
+    def test_class_flag(self, kg):
+        index = LabelIndex(kg)
+        (actor_entry,) = [e for e in index.exact("actor") if e.is_class]
+        assert actor_entry.node_id == kg.id_of(IRI("ex:Actor"))
+
+
+class TestEntityLinker:
+    def test_ambiguous_phrase_returns_multiple_candidates(self, kg):
+        linker = EntityLinker(kg)
+        candidates = linker.link("Philadelphia")
+        names = ids(kg, candidates)
+        assert "Philadelphia" in names
+        assert "Philadelphia_(film)" in names
+        assert "Philadelphia_76ers" in names
+
+    def test_exact_match_outranks_partial(self, kg):
+        linker = EntityLinker(kg)
+        candidates = linker.link("Philadelphia")
+        exact = [c for c in candidates if c.label in ("Philadelphia", "Philadelphia (film)")]
+        partial = [c for c in candidates if c.label == "Philadelphia 76ers"]
+        assert min(c.score for c in exact) > max(c.score for c in partial)
+
+    def test_prominence_ranks_city_over_film(self, kg):
+        linker = EntityLinker(kg)
+        names = ids(kg, linker.link("Philadelphia"))
+        assert names.index("Philadelphia") < names.index("Philadelphia_(film)")
+
+    def test_class_and_entity_for_actor(self, kg):
+        # Section 4.2.1: "actor" links to class <Actor> and the entity
+        # <An_Actor_Prepares>.
+        linker = EntityLinker(kg)
+        candidates = linker.link("actor")
+        kinds = {(kg.iri_of(c.node_id).local_name, c.is_class) for c in candidates}
+        assert ("Actor", True) in kinds
+        assert ("An_Actor_Prepares", False) in kinds
+
+    def test_scores_are_probabilities(self, kg):
+        linker = EntityLinker(kg)
+        for phrase in ("Philadelphia", "actor", "Antonio Banderas"):
+            for candidate in linker.link(phrase):
+                assert 0.0 < candidate.score <= 1.0
+
+    def test_unknown_phrase_empty(self, kg):
+        linker = EntityLinker(kg)
+        assert linker.link("Zorblax Quux") == []
+
+    def test_empty_phrase(self, kg):
+        assert EntityLinker(kg).link("") == []
+
+    def test_max_candidates_respected(self, kg):
+        linker = EntityLinker(kg, max_candidates=2)
+        assert len(linker.link("Philadelphia")) == 2
+
+    def test_multiword_exact(self, kg):
+        linker = EntityLinker(kg)
+        candidates = linker.link("Antonio Banderas")
+        assert ids(kg, candidates)[0] == "Antonio_Banderas"
+
+    def test_alternate_label_links(self, kg):
+        linker = EntityLinker(kg)
+        names = ids(kg, linker.link("Elizabeth II"))
+        assert names[0] == "Queen_Elizabeth_II"
+
+    def test_min_score_filters_weak_partials(self, kg):
+        strict = EntityLinker(kg, min_score=0.99)
+        names = ids(kg, strict.link("Philadelphia"))
+        assert "Philadelphia_76ers" not in names

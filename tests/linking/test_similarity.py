@@ -1,0 +1,74 @@
+"""Tests for string similarity measures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linking.similarity import (
+    combined_similarity,
+    dice_coefficient,
+    jaccard_words,
+    normalized_edit_similarity,
+)
+
+_words = st.text(alphabet="abcdefg ", min_size=0, max_size=15)
+
+
+class TestDice:
+    def test_identical(self):
+        assert dice_coefficient("philadelphia", "philadelphia") == 1.0
+
+    def test_disjoint(self):
+        assert dice_coefficient("xyz", "abc") == 0.0
+
+    def test_empty(self):
+        assert dice_coefficient("", "abc") == 0.0
+
+    def test_case_insensitive(self):
+        assert dice_coefficient("Berlin", "berlin") == 1.0
+
+    def test_partial_overlap_between_zero_and_one(self):
+        score = dice_coefficient("philadelphia", "philadelphia 76ers")
+        assert 0.0 < score < 1.0
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_words("queen elizabeth ii", "queen elizabeth ii") == 1.0
+
+    def test_subset(self):
+        assert jaccard_words("elizabeth ii", "queen elizabeth ii") == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert jaccard_words("", "anything") == 0.0
+
+
+class TestEditSimilarity:
+    def test_identical(self):
+        assert normalized_edit_similarity("intel", "intel") == 1.0
+
+    def test_one_edit(self):
+        assert normalized_edit_similarity("intel", "intell") == pytest.approx(1 - 1 / 6)
+
+    def test_completely_different(self):
+        assert normalized_edit_similarity("aaaa", "bbbb") == 0.0
+
+    def test_empty_vs_nonempty(self):
+        assert normalized_edit_similarity("", "abc") == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(_words, _words)
+def test_all_measures_bounded_and_symmetric(left, right):
+    for measure in (dice_coefficient, jaccard_words, normalized_edit_similarity,
+                    combined_similarity):
+        score = measure(left, right)
+        assert 0.0 <= score <= 1.0 + 1e-12
+        assert score == pytest.approx(measure(right, left))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_words)
+def test_identity_is_maximal(text):
+    if text.strip():
+        assert combined_similarity(text, text) == pytest.approx(1.0)

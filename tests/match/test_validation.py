@@ -1,0 +1,101 @@
+"""Tests for the Definition 3 match validator (negative cases)."""
+
+import pytest
+
+from repro.match import (
+    CandidateSpace,
+    EdgeCandidate,
+    GraphMatch,
+    QueryEdge,
+    QueryVertex,
+    SubgraphMatcher,
+    VertexCandidate,
+    validate_match,
+)
+from repro.rdf import IRI, KnowledgeGraph, RDF_TYPE, Triple, TripleStore
+from repro.rdf.graph import forward_step
+
+
+@pytest.fixture
+def kg():
+    store = TripleStore()
+    store.add(Triple(IRI("v:a"), IRI("v:p"), IRI("v:b")))
+    store.add(Triple(IRI("v:a"), RDF_TYPE, IRI("v:C")))
+    return KnowledgeGraph(store)
+
+
+@pytest.fixture
+def space(kg):
+    s = CandidateSpace()
+    s.add_vertex(QueryVertex(0, candidates=[VertexCandidate(kg.id_of(IRI("v:a")), 0.9)]))
+    s.add_vertex(QueryVertex(1, wildcard=True))
+    s.add_edge(QueryEdge(0, 1, candidates=[
+        EdgeCandidate((forward_step(kg.id_of(IRI("v:p"))),), 0.8)
+    ]))
+    return s
+
+
+def valid_match(kg, space):
+    (match,) = SubgraphMatcher(kg, space).all_matches()
+    return match
+
+
+class TestValidator:
+    def test_real_match_is_valid(self, kg, space):
+        assert validate_match(kg, space, valid_match(kg, space)) == []
+
+    def test_wrong_node_detected(self, kg, space):
+        match = valid_match(kg, space)
+        b = kg.id_of(IRI("v:b"))
+        forged = GraphMatch(
+            bindings=((0, b), (1, b)),  # also non-injective
+            vertex_confidences=match.vertex_confidences,
+            edge_assignments=match.edge_assignments,
+            score=match.score,
+        )
+        problems = validate_match(kg, space, forged)
+        assert any("injective" in p for p in problems)
+        assert any("not admitted" in p for p in problems)
+
+    def test_wrong_score_detected(self, kg, space):
+        match = valid_match(kg, space)
+        forged = GraphMatch(
+            bindings=match.bindings,
+            vertex_confidences=match.vertex_confidences,
+            edge_assignments=match.edge_assignments,
+            score=match.score + 1.0,
+        )
+        assert any("Definition 6" in p for p in validate_match(kg, space, forged))
+
+    def test_disconnected_edge_detected(self, kg, space):
+        match = valid_match(kg, space)
+        a = kg.id_of(IRI("v:a"))
+        forged = GraphMatch(
+            bindings=((0, a), (1, a + 999_999)),
+            vertex_confidences=match.vertex_confidences,
+            edge_assignments=match.edge_assignments,
+            score=match.score,
+        )
+        problems = validate_match(kg, space, forged)
+        assert problems  # unreachable binding must be flagged
+
+    def test_missing_edge_assignment_detected(self, kg, space):
+        match = valid_match(kg, space)
+        forged = GraphMatch(
+            bindings=match.bindings,
+            vertex_confidences=match.vertex_confidences,
+            edge_assignments=(),
+            score=match.score,
+        )
+        assert any("no path assignment" in p for p in validate_match(kg, space, forged))
+
+    def test_non_candidate_path_detected(self, kg, space):
+        match = valid_match(kg, space)
+        bogus_path = (forward_step(999),)
+        forged = GraphMatch(
+            bindings=match.bindings,
+            vertex_confidences=match.vertex_confidences,
+            edge_assignments=((0, bogus_path, 0.8),),
+            score=match.score,
+        )
+        assert any("not a candidate" in p for p in validate_match(kg, space, forged))

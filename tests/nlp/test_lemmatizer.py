@@ -1,0 +1,83 @@
+"""Tests for the rule-based lemmatizer."""
+
+import pytest
+
+from repro.nlp.lemmatizer import (
+    lemmatize,
+    lemmatize_adjective,
+    lemmatize_noun,
+    lemmatize_verb,
+)
+
+
+class TestVerbs:
+    @pytest.mark.parametrize(
+        ("form", "base"),
+        [
+            ("is", "be"), ("was", "be"), ("were", "be"), ("been", "be"),
+            ("has", "have"), ("did", "do"),
+            ("married", "marry"), ("plays", "play"), ("played", "play"),
+            ("starring", "star"), ("starred", "star"),
+            ("directed", "direct"), ("produces", "produce"),
+            ("produced", "produce"), ("wrote", "write"), ("written", "write"),
+            ("born", "bear"), ("died", "die"), ("flows", "flow"),
+            ("founded", "found"), ("developed", "develop"),
+            ("buried", "bury"), ("created", "create"), ("won", "win"),
+            ("gave", "give"), ("operated", "operate"), ("living", "live"),
+        ],
+    )
+    def test_inflections(self, form, base):
+        assert lemmatize_verb(form) == base
+
+    def test_base_form_unchanged(self):
+        assert lemmatize_verb("play") == "play"
+
+    def test_case_insensitive(self):
+        assert lemmatize_verb("Was") == "be"
+
+
+class TestNouns:
+    @pytest.mark.parametrize(
+        ("form", "base"),
+        [
+            ("movies", "movie"), ("cities", "city"), ("companies", "company"),
+            ("children", "child"), ("people", "person"), ("wives", "wife"),
+            ("actors", "actor"), ("members", "member"), ("books", "book"),
+            ("countries", "country"), ("nicknames", "nickname"),
+            ("headquarters", "headquarters"), ("pads", "pad"),
+        ],
+    )
+    def test_plurals(self, form, base):
+        assert lemmatize_noun(form) == base
+
+    def test_singular_unchanged(self):
+        assert lemmatize_noun("actor") == "actor"
+
+    def test_us_suffix_not_stripped(self):
+        assert lemmatize_noun("campus") == "campus"
+
+
+class TestAdjectives:
+    def test_superlative(self):
+        assert lemmatize_adjective("youngest") == "young"
+        assert lemmatize_adjective("largest") == "large"
+
+    def test_comparative(self):
+        assert lemmatize_adjective("bigger") == "big"
+
+    def test_plain(self):
+        assert lemmatize_adjective("tall") == "tall"
+
+
+class TestDispatch:
+    def test_by_pos(self):
+        assert lemmatize("movies", "NNS") == "movie"
+        assert lemmatize("married", "VBN") == "marry"
+        assert lemmatize("youngest", "JJS") == "young"
+
+    def test_proper_nouns_keep_surface(self):
+        assert lemmatize("Philadelphia", "NNP") == "Philadelphia"
+
+    def test_without_pos(self):
+        assert lemmatize("was") == "be"
+        assert lemmatize("children") == "child"

@@ -1,0 +1,84 @@
+"""Coverage tests for the expanded lexicon and its disambiguation rules."""
+
+import pytest
+
+from repro.nlp import lexicon
+from repro.nlp.lemmatizer import lemmatize_verb
+from repro.nlp.tagger import tag
+
+
+def tags_of(question):
+    return {t.text: t.pos for t in tag(question)}
+
+
+class TestLexiconConsistency:
+    def test_irregular_verb_bases_are_known(self):
+        for form, (base, _tag) in lexicon.IRREGULAR_VERBS.items():
+            assert base in lexicon.VERB_BASES, f"{form} → {base} not a known base"
+
+    def test_irregular_noun_bases_consistent(self):
+        for plural, base in lexicon.IRREGULAR_NOUN_PLURALS.items():
+            assert plural != base or plural in ("headquarters", "series", "species")
+
+    def test_superlative_bases_lowercase(self):
+        for superlative, base in lexicon.SUPERLATIVES.items():
+            assert superlative == superlative.lower()
+            assert base == base.lower()
+
+    def test_demonyms_capitalised_countries(self):
+        for adjective, country in lexicon.DEMONYMS.items():
+            assert adjective == adjective.lower()
+            assert country[0].isupper()
+
+    def test_light_words_include_aux_and_prepositions(self):
+        assert "of" in lexicon.LIGHT_WORDS
+        assert "was" in lexicon.LIGHT_WORDS
+        assert "to" in lexicon.LIGHT_WORDS
+
+
+class TestExpandedVerbs:
+    @pytest.mark.parametrize(
+        ("form", "base"),
+        [
+            ("assassinated", "assassinate"), ("bought", "buy"),
+            ("broadcast", "broadcast"), ("defeated", "defeat"),
+            ("established", "establish"), ("exhibits", "exhibit"),
+            ("invented", "invent"), ("merged", "merge"),
+            ("orbits", "orbit"), ("painted", "paint"),
+            ("premiered", "premiere"), ("reigned", "reign"),
+            ("sold", "sell"), ("voiced", "voice"),
+        ],
+    )
+    def test_new_verb_inflections(self, form, base):
+        assert lemmatize_verb(form) == base
+
+    def test_new_verbs_tagged_as_verbs(self):
+        tags = tags_of("Who invented the telephone?")
+        assert tags["invented"] == "VBD"
+
+    def test_assassinated_participle(self):
+        tags = tags_of("Who was assassinated in Dallas?")
+        assert tags["assassinated"] == "VBN"
+
+
+class TestSFormDisambiguation:
+    def test_films_as_noun_after_demonym(self):
+        assert tags_of("Give me all Argentine films.")["films"] == "NNS"
+
+    def test_films_as_noun_after_determiner(self):
+        assert tags_of("Give me all the films.")["films"] == "NNS"
+
+    def test_films_as_verb_after_subject(self):
+        assert tags_of("Who films the movie?")["films"] == "VBZ"
+
+    def test_plays_as_verb_after_wh(self):
+        assert tags_of("Who plays for Manchester United?")["plays"] == "VBZ"
+
+    def test_plays_as_noun_after_possessive(self):
+        assert tags_of("Give me his plays.")["plays"] == "NNS"
+
+    def test_unambiguous_plural_untouched(self):
+        assert tags_of("Which cities are big?")["cities"] == "NNS"
+
+    def test_unambiguous_verb_untouched(self):
+        assert tags_of("Who produces Orangina?")["produces"] == "VBZ"

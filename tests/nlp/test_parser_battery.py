@@ -1,0 +1,44 @@
+"""Regression battery: every benchmark question parses into a valid tree.
+
+A broad, cheap safety net — any parser change that breaks a benchmark
+question's tree structure fails here before it shows up as a mysterious
+end-to-end regression.
+"""
+
+import pytest
+
+from repro.datasets import qald_questions, yago_questions
+from repro.datasets.qald import qald_train_questions
+from repro.nlp import parse_question
+
+_ALL_QUESTIONS = (
+    [q.text for q in qald_questions()]
+    + [q.text for q in qald_train_questions()]
+    + [q.text for q in yago_questions()]
+)
+
+
+@pytest.mark.parametrize("question", _ALL_QUESTIONS)
+def test_question_parses_to_valid_tree(question):
+    tree = parse_question(question)
+    tree.validate()  # single root, acyclic, spanning
+    # The root must be a content word, never punctuation or a bare
+    # preposition/auxiliary-only analysis.
+    assert tree.root.pos not in (".", ",", "POS")
+    # Every non-root node is reachable and has a labelled relation.
+    for node in tree.nodes:
+        if node is not tree.root:
+            assert node.head is not None
+            assert node.deprel
+
+
+def test_parsing_is_deterministic():
+    question = "Who was married to an actor that played in Philadelphia?"
+    first = parse_question(question).to_text()
+    second = parse_question(question).to_text()
+    assert first == second
+
+
+def test_battery_size():
+    # 99 test + 30 train + 20 yago questions.
+    assert len(_ALL_QUESTIONS) == 149

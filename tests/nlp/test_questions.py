@@ -1,0 +1,56 @@
+"""Tests for question-type and aggregation classification."""
+
+from repro.nlp import AggregationKind, QuestionType, analyze_question
+
+
+class TestQuestionType:
+    def test_who_entity(self):
+        assert analyze_question("Who is the mayor of Berlin?").question_type is QuestionType.ENTITY
+
+    def test_which_entity(self):
+        analysis = analyze_question("Which cities does the Weser flow through?")
+        assert analysis.question_type is QuestionType.ENTITY
+        assert analysis.wh_word == "which"
+
+    def test_where_place(self):
+        assert analyze_question("Where was Bach born?").question_type is QuestionType.PLACE
+
+    def test_when_time(self):
+        assert analyze_question("When did Michael Jackson die?").question_type is QuestionType.TIME
+
+    def test_how_quantity(self):
+        assert analyze_question("How tall is Michael Jordan?").question_type is QuestionType.QUANTITY
+
+    def test_yesno(self):
+        analysis = analyze_question("Is Michelle Obama the wife of Barack Obama?")
+        assert analysis.question_type is QuestionType.YESNO
+        assert analysis.wh_word is None
+
+    def test_did_yesno(self):
+        assert analyze_question("Did Tesla win a Nobel prize?").question_type is QuestionType.YESNO
+
+    def test_imperative_list(self):
+        assert analyze_question("Give me all members of Prodigy.").question_type is QuestionType.LIST
+
+    def test_list_imperative(self):
+        assert analyze_question("List the children of Margaret Thatcher.").question_type is QuestionType.LIST
+
+
+class TestAggregation:
+    def test_superlative(self):
+        analysis = analyze_question("Who is the youngest player in the Premier League?")
+        assert analysis.aggregation is AggregationKind.SUPERLATIVE
+        assert analysis.is_aggregation
+
+    def test_largest(self):
+        analysis = analyze_question("What is the largest city in Australia?")
+        assert analysis.aggregation is AggregationKind.SUPERLATIVE
+
+    def test_how_many_count(self):
+        analysis = analyze_question("How many students does the university have?")
+        assert analysis.aggregation is AggregationKind.COUNT
+
+    def test_plain_question_no_aggregation(self):
+        analysis = analyze_question("Who is the mayor of Berlin?")
+        assert analysis.aggregation is AggregationKind.NONE
+        assert not analysis.is_aggregation

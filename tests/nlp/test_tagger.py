@@ -1,0 +1,118 @@
+"""Tests for the POS tagger."""
+
+import pytest
+
+from repro.nlp.tagger import tag
+
+
+def tags_of(question):
+    return {t.text: t.pos for t in tag(question)}
+
+
+def pos_sequence(question):
+    return [(t.text, t.pos) for t in tag(question) if t.pos not in (".", ",")]
+
+
+class TestClosedClasses:
+    def test_wh_words(self):
+        tags = tags_of("Who knows what is where and when?")
+        assert tags["Who"] == "WP"
+        assert tags["what"] == "WP"
+        assert tags["where"] == "WRB"
+        assert tags["when"] == "WRB"
+
+    def test_which_is_wdt(self):
+        assert tags_of("Which city is big?")["Which"] == "WDT"
+
+    def test_determiners_prepositions(self):
+        tags = tags_of("the mayor of a city in Germany")
+        assert tags["the"] == "DT"
+        assert tags["of"] == "IN"
+        assert tags["a"] == "DT"
+        assert tags["in"] == "IN"
+
+    def test_be_forms(self):
+        tags = tags_of("Who is he and who was she?")
+        assert tags["is"] == "VBZ"
+        assert tags["was"] == "VBD"
+
+    def test_numbers(self):
+        assert tags_of("He has 3 children")["3"] == "CD"
+
+
+class TestOpenClasses:
+    def test_unknown_capitalized_is_nnp(self):
+        tags = tags_of("Who developed Minecraft?")
+        assert tags["Minecraft"] == "NNP"
+
+    def test_sentence_initial_known_word_not_nnp(self):
+        assert tags_of("Give me all movies.")["Give"] == "VB"
+
+    def test_domain_nouns(self):
+        tags = tags_of("the mayor and the governor")
+        assert tags["mayor"] == "NN"
+        assert tags["governor"] == "NN"
+
+    def test_plural_of_known_noun(self):
+        assert tags_of("all the movies")["movies"] == "NNS"
+
+    def test_irregular_plural(self):
+        assert tags_of("the children of Margaret")["children"] == "NNS"
+
+    def test_superlative(self):
+        assert tags_of("the youngest player")["youngest"] == "JJS"
+
+    def test_verb_inflections(self):
+        tags = tags_of("he produces and directed")
+        assert tags["produces"] == "VBZ"
+        assert tags["directed"] == "VBD"
+
+    def test_suffix_fallback_adverb(self):
+        assert tags_of("he sings beautifully")["beautifully"] == "RB"
+
+
+class TestContextualRules:
+    def test_that_relative_pronoun(self):
+        tags = tags_of("an actor that played in a movie")
+        assert tags["that"] == "WDT"
+
+    def test_that_determiner(self):
+        assert tags_of("Who directed that movie?")["that"] == "DT"
+
+    def test_participle_after_be(self):
+        tags = tags_of("Who was married to an actor?")
+        assert tags["married"] == "VBN"
+
+    def test_participle_after_be_with_intervening_subject(self):
+        tags = tags_of("In which city was the queen buried?")
+        assert tags["buried"] == "VBN"
+
+    def test_participle_in_reduced_relative(self):
+        tags = tags_of("Give me all movies directed by Coppola.")
+        assert tags["directed"] == "VBN"
+
+    def test_passive_across_of_phrase(self):
+        tags = tags_of("Who is the daughter of Bill Clinton married to?")
+        assert tags["married"] == "VBN"
+
+    def test_homograph_verb_after_subject(self):
+        tags = tags_of("In which movies did Antonio Banderas star?")
+        assert tags["star"] == "VB"
+
+    def test_homograph_noun_after_determiner(self):
+        tags = tags_of("Who is the star of the movie?")
+        assert tags["star"] == "NN"
+
+    def test_homograph_compound_in_copular_frame(self):
+        tags = tags_of("What is the birth name of Angela Merkel?")
+        assert tags["name"] == "NN"
+
+    def test_lemmas_assigned(self):
+        by_text = {t.text: t.lemma for t in tag("Who was married to an actor?")}
+        assert by_text["was"] == "be"
+        assert by_text["married"] == "marry"
+        assert by_text["actor"] == "actor"
+
+    def test_proper_noun_lemma_keeps_case(self):
+        by_text = {t.text: t.lemma for t in tag("Who developed Minecraft?")}
+        assert by_text["Minecraft"] == "Minecraft"

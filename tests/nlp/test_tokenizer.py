@@ -1,0 +1,66 @@
+"""Tests for the question tokenizer."""
+
+from repro.nlp.tokenizer import detokenize, tokenize
+
+
+def texts(question):
+    return [t.text for t in tokenize(question)]
+
+
+class TestTokenize:
+    def test_simple_question(self):
+        assert texts("Who is the mayor of Berlin?") == [
+            "Who", "is", "the", "mayor", "of", "Berlin", "?",
+        ]
+
+    def test_indexes_are_sequential(self):
+        tokens = tokenize("Who founded Intel?")
+        assert [t.index for t in tokens] == [0, 1, 2, 3]
+
+    def test_final_period_split(self):
+        assert texts("Give me all members of Prodigy.")[-1] == "."
+
+    def test_initials_kept(self):
+        assert "F." in texts("Who was the successor of John F. Kennedy?")
+
+    def test_dotted_abbreviation_kept(self):
+        assert "U.S." in texts("Sean Parnell is the governor of which U.S. state?")
+
+    def test_comma_separated(self):
+        tokens = texts("In Berlin, who is the mayor?")
+        assert "," in tokens
+        assert "Berlin" in tokens
+
+    def test_contraction_expansion(self):
+        assert texts("What's the capital of Canada?")[:2] == ["What", "is"]
+
+    def test_contraction_keeps_final_punctuation(self):
+        assert texts("Who's the mayor?")[-1] == "?"
+
+    def test_hyphenated_word(self):
+        assert "vice-president" in texts("Who is the vice-president?")
+
+    def test_apostrophe_name(self):
+        assert "O'Brien" in texts("Who is O'Brien?")
+
+    def test_numbers(self):
+        assert "76ers" in texts("Who plays for the Philadelphia 76ers?")
+
+    def test_decimal_number(self):
+        assert "1.85" in texts("Is he 1.85 meters tall?")
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_lower_property(self):
+        token = tokenize("Berlin")[0]
+        assert token.lower == "berlin"
+
+
+class TestDetokenize:
+    def test_roundtrip_spacing(self):
+        tokens = tokenize("Who is the mayor of Berlin?")
+        assert detokenize(tokens) == "Who is the mayor of Berlin?"
+
+    def test_empty(self):
+        assert detokenize([]) == ""

@@ -1,0 +1,129 @@
+"""Tests for simple-path enumeration (the offline BFS of Section 3)."""
+
+import pytest
+
+from repro.paraphrase import find_simple_paths
+from repro.rdf import IRI, KnowledgeGraph, Triple, TripleStore
+from repro.rdf.graph import backward_step, forward_step
+
+
+def build_kg(edges):
+    store = TripleStore()
+    for s, p, o in edges:
+        store.add(Triple(IRI(f"ex:{s}"), IRI(f"ex:{p}"), IRI(f"ex:{o}")))
+    return KnowledgeGraph(store)
+
+
+def pid(kg, name):
+    return kg.id_of(IRI(f"ex:{name}"))
+
+
+def nid(kg, name):
+    return kg.id_of(IRI(f"ex:{name}"))
+
+
+class TestDirectEdges:
+    def test_single_forward_edge(self):
+        kg = build_kg([("a", "p", "b")])
+        paths = find_simple_paths(kg, nid(kg, "a"), nid(kg, "b"), 4)
+        assert paths == {(forward_step(pid(kg, "p")),)}
+
+    def test_single_backward_edge(self):
+        kg = build_kg([("b", "p", "a")])
+        paths = find_simple_paths(kg, nid(kg, "a"), nid(kg, "b"), 4)
+        assert paths == {(backward_step(pid(kg, "p")),)}
+
+    def test_no_connection(self):
+        kg = build_kg([("a", "p", "b"), ("c", "p", "d")])
+        assert find_simple_paths(kg, nid(kg, "a"), nid(kg, "c"), 4) == set()
+
+    def test_same_node(self):
+        kg = build_kg([("a", "p", "b")])
+        assert find_simple_paths(kg, nid(kg, "a"), nid(kg, "a"), 4) == set()
+
+    def test_zero_length_threshold(self):
+        kg = build_kg([("a", "p", "b")])
+        assert find_simple_paths(kg, nid(kg, "a"), nid(kg, "b"), 0) == set()
+
+
+class TestMultiHop:
+    def test_uncle_of_pattern(self):
+        # The paper's Figure 4: uncle = hasChild⁻¹ · hasChild · hasChild,
+        # i.e. grandparent's other child's child.
+        kg = build_kg(
+            [
+                ("grandpa", "hasChild", "ted"),
+                ("grandpa", "hasChild", "bob"),
+                ("bob", "hasChild", "junior"),
+            ]
+        )
+        paths = find_simple_paths(kg, nid(kg, "ted"), nid(kg, "junior"), 3)
+        child = pid(kg, "hasChild")
+        expected = (backward_step(child), forward_step(child), forward_step(child))
+        assert expected in paths
+
+    def test_length_threshold_enforced(self):
+        kg = build_kg(
+            [
+                ("a", "p", "b"),
+                ("b", "p", "c"),
+                ("c", "p", "d"),
+                ("d", "p", "e"),
+                ("e", "p", "f"),
+            ]
+        )
+        assert find_simple_paths(kg, nid(kg, "a"), nid(kg, "f"), 4) == set()
+        assert len(find_simple_paths(kg, nid(kg, "a"), nid(kg, "f"), 5)) == 1
+
+    def test_multiple_distinct_paths(self):
+        kg = build_kg(
+            [
+                ("a", "p", "b"),
+                ("a", "q", "m"),
+                ("m", "r", "b"),
+            ]
+        )
+        paths = find_simple_paths(kg, nid(kg, "a"), nid(kg, "b"), 2)
+        assert len(paths) == 2
+
+    def test_simplicity_no_revisit(self):
+        # a→b→a→b would revisit; only the direct edge may be returned.
+        kg = build_kg([("a", "p", "b"), ("b", "q", "a")])
+        paths = find_simple_paths(kg, nid(kg, "a"), nid(kg, "b"), 3)
+        p, q = pid(kg, "p"), pid(kg, "q")
+        assert paths == {(forward_step(p),), (backward_step(q),)}
+
+    def test_parallel_routes_same_pattern_collapse(self):
+        # Two different middle nodes, same predicate sequence → one pattern.
+        kg = build_kg(
+            [
+                ("a", "p", "m1"), ("m1", "q", "b"),
+                ("a", "p", "m2"), ("m2", "q", "b"),
+            ]
+        )
+        paths = find_simple_paths(kg, nid(kg, "a"), nid(kg, "b"), 2)
+        assert paths == {(forward_step(pid(kg, "p")), forward_step(pid(kg, "q")))}
+
+    def test_structural_predicates_excluded(self):
+        from repro.rdf import RDF_TYPE
+        store = TripleStore()
+        store.add(Triple(IRI("ex:a"), RDF_TYPE, IRI("ex:C")))
+        store.add(Triple(IRI("ex:b"), RDF_TYPE, IRI("ex:C")))
+        kg = KnowledgeGraph(store)
+        a, b = kg.id_of(IRI("ex:a")), kg.id_of(IRI("ex:b"))
+        assert find_simple_paths(kg, a, b, 4) == set()
+
+    def test_path_walkable(self):
+        """Every returned path must actually connect the two endpoints when
+        re-walked directionally."""
+        kg = build_kg(
+            [
+                ("a", "p", "b"),
+                ("c", "q", "b"),
+                ("c", "r", "d"),
+                ("a", "s", "d"),
+            ]
+        )
+        source, target = nid(kg, "a"), nid(kg, "d")
+        for path in find_simple_paths(kg, source, target, 4):
+            assert kg.path_connects(source, target, path)

@@ -1,0 +1,64 @@
+"""Tests for dictionary encoding of terms."""
+
+import pytest
+
+from repro.exceptions import TermNotFoundError
+from repro.rdf import IRI, Literal, TermDictionary
+
+
+class TestTermDictionary:
+    def test_encode_assigns_dense_ids(self):
+        d = TermDictionary()
+        ids = [d.encode(IRI(f"ex:{i}")) for i in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_encode_is_idempotent(self):
+        d = TermDictionary()
+        first = d.encode(IRI("ex:a"))
+        second = d.encode(IRI("ex:a"))
+        assert first == second
+        assert len(d) == 1
+
+    def test_roundtrip(self):
+        d = TermDictionary()
+        terms = [IRI("ex:a"), Literal("x"), Literal("x", language="en")]
+        for term in terms:
+            assert d.decode(d.encode(term)) == term
+
+    def test_distinct_literals_get_distinct_ids(self):
+        d = TermDictionary()
+        assert d.encode(Literal("x")) != d.encode(Literal("x", language="en"))
+
+    def test_lookup_missing_raises(self):
+        d = TermDictionary()
+        with pytest.raises(TermNotFoundError):
+            d.lookup(IRI("ex:missing"))
+
+    def test_lookup_or_none(self):
+        d = TermDictionary()
+        assert d.lookup_or_none(IRI("ex:missing")) is None
+        d.encode(IRI("ex:a"))
+        assert d.lookup_or_none(IRI("ex:a")) == 0
+
+    def test_decode_out_of_range_raises(self):
+        d = TermDictionary()
+        with pytest.raises(TermNotFoundError):
+            d.decode(0)
+        d.encode(IRI("ex:a"))
+        with pytest.raises(TermNotFoundError):
+            d.decode(1)
+        with pytest.raises(TermNotFoundError):
+            d.decode(-1)
+
+    def test_contains_and_iter(self):
+        d = TermDictionary()
+        d.encode(IRI("ex:a"))
+        assert IRI("ex:a") in d
+        assert IRI("ex:b") not in d
+        assert list(d) == [IRI("ex:a")]
+
+    def test_decode_many_preserves_order(self):
+        d = TermDictionary()
+        a = d.encode(IRI("ex:a"))
+        b = d.encode(IRI("ex:b"))
+        assert d.decode_many([b, a]) == [IRI("ex:b"), IRI("ex:a")]

@@ -1,0 +1,233 @@
+"""Tests for the KnowledgeGraph view: classes, labels, adjacency, paths."""
+
+import pytest
+
+from repro.rdf import (
+    IRI,
+    KnowledgeGraph,
+    Literal,
+    RDF_TYPE,
+    RDFS_LABEL,
+    RDFS_SUBCLASSOF,
+    Triple,
+    TripleStore,
+)
+from repro.rdf.graph import (
+    Direction,
+    backward_step,
+    encode_step,
+    forward_step,
+    reverse_path,
+    step_is_forward,
+    step_predicate,
+)
+
+
+@pytest.fixture
+def kg():
+    """The running example of the paper's Figure 1 in miniature."""
+    store = TripleStore()
+    e = lambda name: IRI(f"ex:{name}")
+    store.add_all(
+        [
+            Triple(e("Antonio_Banderas"), e("spouse"), e("Melanie_Griffith")),
+            Triple(e("Antonio_Banderas"), e("starring"), e("Philadelphia_(film)")),
+            Triple(e("Antonio_Banderas"), RDF_TYPE, e("Actor")),
+            Triple(e("Actor"), RDFS_SUBCLASSOF, e("Person")),
+            Triple(e("Aaron_McKie"), e("playsFor"), e("Philadelphia_76ers")),
+            Triple(e("Antonio_Banderas"), RDFS_LABEL, Literal("Antonio Banderas")),
+            Triple(e("Philadelphia_(film)"), RDFS_LABEL, Literal("Philadelphia")),
+            Triple(e("Antonio_Banderas"), e("height"), Literal("1.74")),
+        ]
+    )
+    return KnowledgeGraph(store)
+
+
+def nid(kg, name):
+    return kg.id_of(IRI(f"ex:{name}"))
+
+
+class TestClassDetection:
+    def test_type_object_is_class(self, kg):
+        assert kg.is_class(nid(kg, "Actor"))
+
+    def test_subclass_parent_is_class(self, kg):
+        assert kg.is_class(nid(kg, "Person"))
+
+    def test_entity_is_not_class(self, kg):
+        assert not kg.is_class(nid(kg, "Antonio_Banderas"))
+        assert kg.is_entity(nid(kg, "Antonio_Banderas"))
+
+    def test_literal_is_not_entity(self, kg):
+        literal_id = kg.store.dictionary.lookup(Literal("1.74"))
+        assert not kg.is_entity(literal_id)
+
+    def test_entity_ids_exclude_classes(self, kg):
+        entities = kg.entity_ids()
+        assert nid(kg, "Antonio_Banderas") in entities
+        assert nid(kg, "Actor") not in entities
+
+
+class TestTypes:
+    def test_direct_types(self, kg):
+        assert kg.types_of(nid(kg, "Antonio_Banderas")) == {nid(kg, "Actor")}
+
+    def test_transitive_types_include_superclass(self, kg):
+        types = kg.types_of_transitive(nid(kg, "Antonio_Banderas"))
+        assert nid(kg, "Person") in types
+
+    def test_has_type_direct_and_transitive(self, kg):
+        banderas = nid(kg, "Antonio_Banderas")
+        assert kg.has_type(banderas, nid(kg, "Actor"))
+        assert kg.has_type(banderas, nid(kg, "Person"))
+        assert not kg.has_type(banderas, nid(kg, "Philadelphia_76ers"))
+
+    def test_instances_of_transitive(self, kg):
+        assert nid(kg, "Antonio_Banderas") in kg.instances_of(nid(kg, "Person"))
+
+    def test_instances_of_non_transitive(self, kg):
+        assert kg.instances_of(nid(kg, "Person"), transitive=False) == set()
+
+
+class TestLabels:
+    def test_label_from_rdfs_label(self, kg):
+        assert kg.label_of(nid(kg, "Philadelphia_(film)")) == "Philadelphia"
+
+    def test_label_fallback_to_local_name(self, kg):
+        assert kg.label_of(nid(kg, "Melanie_Griffith")) == "Melanie Griffith"
+
+    def test_all_labels(self, kg):
+        assert kg.all_labels(nid(kg, "Antonio_Banderas")) == ["Antonio Banderas"]
+        assert kg.all_labels(nid(kg, "Melanie_Griffith")) == []
+
+    def test_refresh_picks_up_new_labels(self, kg):
+        griffith = IRI("ex:Melanie_Griffith")
+        kg.store.add(Triple(griffith, RDFS_LABEL, Literal("Melanie Griffith (actress)")))
+        kg.refresh()
+        assert kg.label_of(nid(kg, "Melanie_Griffith")) == "Melanie Griffith (actress)"
+
+
+class TestAdjacency:
+    def test_edges_both_directions(self, kg):
+        banderas = nid(kg, "Antonio_Banderas")
+        edges = list(kg.edges(banderas))
+        directions = {(kg.iri_of(e.predicate).local_name, e.direction) for e in edges}
+        assert ("spouse", Direction.OUT) in directions
+
+        griffith = nid(kg, "Melanie_Griffith")
+        incoming = list(kg.edges(griffith))
+        assert any(e.direction is Direction.IN for e in incoming)
+
+    def test_edges_skip_structural_by_default(self, kg):
+        banderas = nid(kg, "Antonio_Banderas")
+        predicates = {kg.iri_of(e.predicate) for e in kg.edges(banderas)}
+        assert RDF_TYPE not in predicates
+        assert RDFS_LABEL not in predicates
+
+    def test_edges_include_structural_on_request(self, kg):
+        banderas = nid(kg, "Antonio_Banderas")
+        predicates = {
+            kg.iri_of(e.predicate) for e in kg.edges(banderas, include_structural=True)
+        }
+        assert RDF_TYPE in predicates
+
+    def test_undirected_neighbors_skip_literals(self, kg):
+        banderas = nid(kg, "Antonio_Banderas")
+        literal_id = kg.store.dictionary.lookup(Literal("1.74"))
+        neighbors = {e.node for e in kg.undirected_neighbors(banderas)}
+        assert literal_id not in neighbors
+
+    def test_degree(self, kg):
+        # spouse(out), starring(out), height(out literal)
+        assert kg.degree(nid(kg, "Antonio_Banderas")) == 3
+
+    def test_incident_predicates(self, kg):
+        griffith = nid(kg, "Melanie_Griffith")
+        spouse = kg.id_of(IRI("ex:spouse"))
+        assert (spouse, Direction.IN) in kg.incident_predicates(griffith)
+
+
+class TestPathEncoding:
+    def test_roundtrip_forward(self):
+        step = forward_step(0)
+        assert step_predicate(step) == 0
+        assert step_is_forward(step)
+
+    def test_roundtrip_backward(self):
+        step = backward_step(0)
+        assert step_predicate(step) == 0
+        assert not step_is_forward(step)
+
+    def test_encode_step_direction(self):
+        assert encode_step(3, Direction.OUT) == forward_step(3)
+        assert encode_step(3, Direction.IN) == backward_step(3)
+
+    def test_reverse_path(self):
+        path = (forward_step(1), backward_step(2))
+        assert reverse_path(path) == (forward_step(2), backward_step(1))
+        assert reverse_path(reverse_path(path)) == path
+
+
+class TestPathWalking:
+    def test_walk_single_forward_step(self, kg):
+        spouse = kg.id_of(IRI("ex:spouse"))
+        result = kg.walk_path(nid(kg, "Antonio_Banderas"), (forward_step(spouse),))
+        assert result == {nid(kg, "Melanie_Griffith")}
+
+    def test_walk_single_backward_step(self, kg):
+        spouse = kg.id_of(IRI("ex:spouse"))
+        result = kg.walk_path(nid(kg, "Melanie_Griffith"), (backward_step(spouse),))
+        assert result == {nid(kg, "Antonio_Banderas")}
+
+    def test_walk_two_hop(self, kg):
+        spouse = kg.id_of(IRI("ex:spouse"))
+        starring = kg.id_of(IRI("ex:starring"))
+        # Griffith -(spouse^-1)-> Banderas -(starring)-> Philadelphia(film)
+        path = (backward_step(spouse), forward_step(starring))
+        assert kg.walk_path(nid(kg, "Melanie_Griffith"), path) == {
+            nid(kg, "Philadelphia_(film)")
+        }
+
+    def test_walk_dead_end_is_empty(self, kg):
+        starring = kg.id_of(IRI("ex:starring"))
+        assert kg.walk_path(nid(kg, "Melanie_Griffith"), (forward_step(starring),)) == set()
+
+    def test_path_connects(self, kg):
+        spouse = kg.id_of(IRI("ex:spouse"))
+        assert kg.path_connects(
+            nid(kg, "Antonio_Banderas"), nid(kg, "Melanie_Griffith"), (forward_step(spouse),)
+        )
+        assert not kg.path_connects(
+            nid(kg, "Antonio_Banderas"), nid(kg, "Aaron_McKie"), (forward_step(spouse),)
+        )
+
+    def test_reverse_path_connects_back(self, kg):
+        spouse = kg.id_of(IRI("ex:spouse"))
+        starring = kg.id_of(IRI("ex:starring"))
+        path = (backward_step(spouse), forward_step(starring))
+        assert kg.path_connects(
+            nid(kg, "Philadelphia_(film)"), nid(kg, "Melanie_Griffith"), reverse_path(path)
+        )
+
+
+class TestSubclassCycles:
+    def test_transitive_types_terminate_on_cycle(self):
+        """A subClassOf cycle in dirty data must not hang the closure."""
+        store = TripleStore()
+        store.add(Triple(IRI("c:A"), RDFS_SUBCLASSOF, IRI("c:B")))
+        store.add(Triple(IRI("c:B"), RDFS_SUBCLASSOF, IRI("c:A")))
+        store.add(Triple(IRI("c:x"), RDF_TYPE, IRI("c:A")))
+        cyclic = KnowledgeGraph(store)
+        x = cyclic.id_of(IRI("c:x"))
+        types = cyclic.types_of_transitive(x)
+        assert cyclic.id_of(IRI("c:A")) in types
+        assert cyclic.id_of(IRI("c:B")) in types
+
+    def test_instances_terminate_on_cycle(self):
+        store = TripleStore()
+        store.add(Triple(IRI("c:A"), RDFS_SUBCLASSOF, IRI("c:B")))
+        store.add(Triple(IRI("c:B"), RDFS_SUBCLASSOF, IRI("c:A")))
+        store.add(Triple(IRI("c:x"), RDF_TYPE, IRI("c:A")))
+        cyclic = KnowledgeGraph(store)
+        b = cyclic.id_of(IRI("c:B"))
+        assert cyclic.id_of(IRI("c:x")) in cyclic.instances_of(b)

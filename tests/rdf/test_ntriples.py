@@ -1,0 +1,120 @@
+"""Tests for N-Triples parsing and serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import RDFSyntaxError
+from repro.rdf import (
+    IRI,
+    Literal,
+    Triple,
+    parse_ntriples,
+    parse_ntriples_line,
+    serialize_ntriples,
+    serialize_term,
+)
+
+
+class TestParsing:
+    def test_simple_triple(self):
+        triple = parse_ntriples_line("<ex:s> <ex:p> <ex:o> .")
+        assert triple == Triple(IRI("ex:s"), IRI("ex:p"), IRI("ex:o"))
+
+    def test_plain_literal(self):
+        triple = parse_ntriples_line('<ex:s> <ex:p> "hello world" .')
+        assert triple.object == Literal("hello world")
+
+    def test_language_literal(self):
+        triple = parse_ntriples_line('<ex:s> <ex:p> "Berlin"@de .')
+        assert triple.object == Literal("Berlin", language="de")
+
+    def test_datatype_literal(self):
+        triple = parse_ntriples_line(
+            '<ex:s> <ex:p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        )
+        assert triple.object.datatype.value.endswith("integer")
+
+    def test_escapes(self):
+        triple = parse_ntriples_line('<ex:s> <ex:p> "a\\tb\\nc\\"d\\\\e" .')
+        assert triple.object.lexical == 'a\tb\nc"d\\e'
+
+    def test_unicode_escape(self):
+        triple = parse_ntriples_line('<ex:s> <ex:p> "\\u00e9" .')
+        assert triple.object.lexical == "é"
+
+    def test_comment_and_blank_lines_skipped(self):
+        doc = "# a comment\n\n<ex:s> <ex:p> <ex:o> .\n"
+        assert len(list(parse_ntriples(doc))) == 1
+
+    def test_trailing_comment_allowed(self):
+        triple = parse_ntriples_line("<ex:s> <ex:p> <ex:o> . # trailing")
+        assert triple is not None
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(RDFSyntaxError) as excinfo:
+            list(parse_ntriples("<ex:s> <ex:p> <ex:o> .\n<bad line\n"))
+        assert excinfo.value.line == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<ex:s> <ex:p> <ex:o>",  # missing dot
+            "<ex:s> <ex:p> .",  # missing object
+            '"lit" <ex:p> <ex:o> .',  # literal subject
+            "<ex:s> \"lit\" <ex:o> .",  # literal predicate
+            "<ex:s> <ex:p> _:b0 .",  # blank node
+            '<ex:s> <ex:p> "open .',  # unterminated literal
+            "<ex:s> <ex:p <ex:o> .",  # unterminated IRI
+            '<ex:s> <ex:p> "x"@ .',  # empty language tag
+            '<ex:s> <ex:p> "x\\q" .',  # unknown escape
+            "<> <ex:p> <ex:o> .",  # empty IRI
+            "<ex:s> <ex:p> <ex:o> . extra",  # trailing garbage
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(RDFSyntaxError):
+            parse_ntriples_line(bad)
+
+
+class TestSerialization:
+    def test_serialize_iri(self):
+        assert serialize_term(IRI("ex:a")) == "<ex:a>"
+
+    def test_serialize_plain_literal(self):
+        assert serialize_term(Literal("hi")) == '"hi"'
+
+    def test_serialize_language_literal(self):
+        assert serialize_term(Literal("hi", language="en")) == '"hi"@en'
+
+    def test_serialize_escapes(self):
+        assert serialize_term(Literal('a"b\\c\nd')) == '"a\\"b\\\\c\\nd"'
+
+    def test_empty_document(self):
+        assert serialize_ntriples([]) == ""
+
+    def test_document_ends_with_newline(self):
+        doc = serialize_ntriples([Triple(IRI("ex:s"), IRI("ex:p"), IRI("ex:o"))])
+        assert doc.endswith(".\n")
+
+
+# Round-trip property: serialize ∘ parse == identity.
+
+_safe_iri = st.from_regex(r"ex:[A-Za-z_][A-Za-z0-9_]{0,10}", fullmatch=True).map(IRI)
+_lexical = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), min_codepoint=1),
+    max_size=20,
+)
+_literal = st.one_of(
+    st.builds(Literal, _lexical),
+    st.builds(lambda s: Literal(s, language="en"), _lexical),
+    st.builds(lambda s: Literal(s, datatype=IRI("xsd:string")), _lexical),
+)
+_triple = st.builds(Triple, _safe_iri, _safe_iri, st.one_of(_safe_iri, _literal))
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(_triple, max_size=15))
+def test_roundtrip(triples):
+    doc = serialize_ntriples(triples)
+    assert list(parse_ntriples(doc)) == triples

@@ -1,0 +1,201 @@
+"""Tests for the triple store and its permutation indexes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import IRI, Literal, Triple, TripleStore
+
+
+def t(s, p, o):
+    obj = o if isinstance(o, Literal) else IRI(o)
+    return Triple(IRI(s), IRI(p), obj)
+
+
+@pytest.fixture
+def store():
+    store = TripleStore()
+    store.add_all(
+        [
+            t("ex:banderas", "ex:spouse", "ex:griffith"),
+            t("ex:banderas", "ex:starring", "ex:philadelphia_film"),
+            t("ex:banderas", "ex:type", "ex:Actor"),
+            t("ex:hanks", "ex:starring", "ex:philadelphia_film"),
+            t("ex:banderas", "ex:height", Literal("1.74")),
+        ]
+    )
+    return store
+
+
+class TestMutation:
+    def test_add_returns_true_for_new(self):
+        store = TripleStore()
+        assert store.add(t("ex:a", "ex:p", "ex:b")) is True
+
+    def test_add_duplicate_returns_false_and_keeps_size(self):
+        store = TripleStore()
+        store.add(t("ex:a", "ex:p", "ex:b"))
+        assert store.add(t("ex:a", "ex:p", "ex:b")) is False
+        assert len(store) == 1
+
+    def test_add_all_counts_new_only(self):
+        store = TripleStore()
+        n = store.add_all([t("ex:a", "ex:p", "ex:b"), t("ex:a", "ex:p", "ex:b")])
+        assert n == 1
+
+    def test_remove_present(self, store):
+        assert store.remove(t("ex:banderas", "ex:spouse", "ex:griffith")) is True
+        assert t("ex:banderas", "ex:spouse", "ex:griffith") not in store
+        assert len(store) == 4
+
+    def test_remove_absent_returns_false(self, store):
+        assert store.remove(t("ex:nobody", "ex:spouse", "ex:griffith")) is False
+        assert len(store) == 5
+
+    def test_remove_then_requery_all_indexes(self, store):
+        store.remove(t("ex:hanks", "ex:starring", "ex:philadelphia_film"))
+        assert list(store.triples(subject=IRI("ex:hanks"))) == []
+        starring = list(store.triples(predicate=IRI("ex:starring")))
+        assert len(starring) == 1
+        by_object = list(store.triples(object=IRI("ex:philadelphia_film")))
+        assert all(tr.subject != IRI("ex:hanks") for tr in by_object)
+
+    def test_readd_after_remove(self, store):
+        triple = t("ex:banderas", "ex:spouse", "ex:griffith")
+        store.remove(triple)
+        assert store.add(triple) is True
+        assert triple in store
+
+
+class TestPatternMatching:
+    def test_fully_bound_hit_and_miss(self, store):
+        assert t("ex:banderas", "ex:spouse", "ex:griffith") in store
+        assert t("ex:banderas", "ex:spouse", "ex:hanks") not in store
+
+    def test_subject_bound(self, store):
+        results = list(store.triples(subject=IRI("ex:banderas")))
+        assert len(results) == 4
+
+    def test_predicate_bound(self, store):
+        results = list(store.triples(predicate=IRI("ex:starring")))
+        subjects = {tr.subject for tr in results}
+        assert subjects == {IRI("ex:banderas"), IRI("ex:hanks")}
+
+    def test_object_bound(self, store):
+        results = list(store.triples(object=IRI("ex:philadelphia_film")))
+        assert len(results) == 2
+
+    def test_subject_predicate_bound(self, store):
+        results = list(
+            store.triples(subject=IRI("ex:banderas"), predicate=IRI("ex:starring"))
+        )
+        assert [tr.object for tr in results] == [IRI("ex:philadelphia_film")]
+
+    def test_predicate_object_bound(self, store):
+        results = list(
+            store.triples(predicate=IRI("ex:starring"), object=IRI("ex:philadelphia_film"))
+        )
+        assert {tr.subject for tr in results} == {IRI("ex:banderas"), IRI("ex:hanks")}
+
+    def test_subject_object_bound(self, store):
+        results = list(
+            store.triples(subject=IRI("ex:banderas"), object=IRI("ex:philadelphia_film"))
+        )
+        assert [tr.predicate for tr in results] == [IRI("ex:starring")]
+
+    def test_all_wildcards(self, store):
+        assert len(list(store.triples())) == 5
+
+    def test_unknown_bound_term_matches_nothing(self, store):
+        assert list(store.triples(subject=IRI("ex:never_seen"))) == []
+
+    def test_literal_object_pattern(self, store):
+        results = list(store.triples(object=Literal("1.74")))
+        assert len(results) == 1
+        assert results[0].predicate == IRI("ex:height")
+
+
+class TestCounts:
+    def test_total(self, store):
+        assert store.count() == 5
+
+    def test_sp_count(self, store):
+        s = store.dictionary.lookup(IRI("ex:banderas"))
+        p = store.dictionary.lookup(IRI("ex:starring"))
+        assert store.count(s=s, p=p) == 1
+
+    def test_po_count(self, store):
+        p = store.dictionary.lookup(IRI("ex:starring"))
+        o = store.dictionary.lookup(IRI("ex:philadelphia_film"))
+        assert store.count(p=p, o=o) == 2
+
+    def test_generic_count_matches_iteration(self, store):
+        p = store.dictionary.lookup(IRI("ex:starring"))
+        assert store.count(p=p) == len(list(store.triples_ids(p=p)))
+
+
+class TestVocabulary:
+    def test_statistics(self, store):
+        stats = store.statistics()
+        assert stats["triples"] == 5
+        assert stats["predicates"] == 4
+        assert stats["literals"] == 1
+        # nodes: banderas, griffith, philadelphia_film, Actor, hanks
+        assert stats["nodes"] == 5
+
+    def test_node_ids_exclude_literals(self, store):
+        literal_id = store.dictionary.lookup(Literal("1.74"))
+        assert literal_id not in store.node_ids()
+
+    def test_is_literal_id(self, store):
+        literal_id = store.dictionary.lookup(Literal("1.74"))
+        entity_id = store.dictionary.lookup(IRI("ex:banderas"))
+        assert store.is_literal_id(literal_id)
+        assert not store.is_literal_id(entity_id)
+
+    def test_predicates_listing(self, store):
+        predicates = set(store.predicates())
+        assert IRI("ex:spouse") in predicates
+        assert len(predicates) == 4
+
+
+# ---------------------------------------------------------------------- #
+# Property-based: the three permutation indexes always agree.
+# ---------------------------------------------------------------------- #
+
+iris = st.integers(min_value=0, max_value=8).map(lambda i: IRI(f"ex:n{i}"))
+triples = st.builds(Triple, iris, iris, iris)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(triples, max_size=40), st.lists(triples, max_size=10))
+def test_indexes_agree_under_adds_and_removes(to_add, to_remove):
+    store = TripleStore()
+    store.add_all(to_add)
+    for triple in to_remove:
+        store.remove(triple)
+    expected = set(to_add) - set(to_remove)
+    assert set(store.triples()) == expected
+    assert len(store) == len(expected)
+    # Every pattern shape agrees with a brute-force filter of the full set.
+    for triple in expected:
+        assert set(store.triples(subject=triple.subject)) == {
+            other for other in expected if other.subject == triple.subject
+        }
+        assert set(store.triples(predicate=triple.predicate)) == {
+            other for other in expected if other.predicate == triple.predicate
+        }
+        assert set(store.triples(object=triple.object)) == {
+            other for other in expected if other.object == triple.object
+        }
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(triples, max_size=40))
+def test_count_matches_iteration(all_triples):
+    store = TripleStore()
+    store.add_all(all_triples)
+    for triple in all_triples:
+        s = store.dictionary.lookup(triple.subject)
+        p = store.dictionary.lookup(triple.predicate)
+        assert store.count(s=s, p=p) == len(list(store.triples_ids(s=s, p=p)))

@@ -1,0 +1,101 @@
+"""Tests for the RDF term model."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, Triple
+from repro.rdf import vocab
+
+
+class TestIRI:
+    def test_equality_and_hash(self):
+        assert IRI("ex:a") == IRI("ex:a")
+        assert IRI("ex:a") != IRI("ex:b")
+        assert hash(IRI("ex:a")) == hash(IRI("ex:a"))
+
+    def test_empty_value_rejected(self):
+        with pytest.raises(ValueError):
+            IRI("")
+
+    def test_str_is_value(self):
+        assert str(IRI("http://example.org/x")) == "http://example.org/x"
+
+    def test_local_name_hash(self):
+        assert IRI("http://example.org/ns#Berlin").local_name == "Berlin"
+
+    def test_local_name_slash(self):
+        assert IRI("http://dbpedia.org/resource/Berlin").local_name == "Berlin"
+
+    def test_local_name_colon(self):
+        assert IRI("ex:Melanie_Griffith").local_name == "Melanie_Griffith"
+
+    def test_local_name_plain(self):
+        assert IRI("Berlin").local_name == "Berlin"
+
+    def test_immutable(self):
+        iri = IRI("ex:a")
+        with pytest.raises(AttributeError):
+            iri.value = "ex:b"
+
+
+class TestLiteral:
+    def test_plain_literal(self):
+        lit = Literal("hello")
+        assert lit.lexical == "hello"
+        assert lit.datatype is None
+        assert lit.language is None
+
+    def test_language_tagged(self):
+        lit = Literal("Berlin", language="de")
+        assert lit.language == "de"
+
+    def test_datatype_and_language_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            Literal("1", datatype=vocab.XSD_INTEGER, language="en")
+
+    def test_to_python_integer(self):
+        assert Literal("42", datatype=vocab.XSD_INTEGER).to_python() == 42
+
+    def test_to_python_decimal(self):
+        assert Literal("1.98", datatype=vocab.XSD_DECIMAL).to_python() == pytest.approx(1.98)
+
+    def test_to_python_boolean(self):
+        assert Literal("true", datatype=vocab.XSD_BOOLEAN).to_python() is True
+        assert Literal("false", datatype=vocab.XSD_BOOLEAN).to_python() is False
+
+    def test_to_python_plain_is_string(self):
+        assert Literal("abc").to_python() == "abc"
+
+    def test_literal_not_equal_to_iri_with_same_text(self):
+        assert Literal("ex:a") != IRI("ex:a")
+
+    def test_equality_includes_language(self):
+        assert Literal("Berlin", language="de") != Literal("Berlin", language="en")
+        assert Literal("Berlin", language="de") != Literal("Berlin")
+
+
+class TestTriple:
+    def test_construction_and_iteration(self):
+        t = Triple(IRI("ex:s"), IRI("ex:p"), IRI("ex:o"))
+        s, p, o = t
+        assert (s, p, o) == (IRI("ex:s"), IRI("ex:p"), IRI("ex:o"))
+
+    def test_literal_object_allowed(self):
+        t = Triple(IRI("ex:s"), IRI("ex:p"), Literal("x"))
+        assert isinstance(t.object, Literal)
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(Literal("x"), IRI("ex:p"), IRI("ex:o"))
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(IRI("ex:s"), Literal("x"), IRI("ex:o"))
+
+    def test_non_term_object_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(IRI("ex:s"), IRI("ex:p"), "not-a-term")
+
+    def test_hashable(self):
+        t1 = Triple(IRI("ex:s"), IRI("ex:p"), IRI("ex:o"))
+        t2 = Triple(IRI("ex:s"), IRI("ex:p"), IRI("ex:o"))
+        assert len({t1, t2}) == 1

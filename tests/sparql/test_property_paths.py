@@ -1,0 +1,160 @@
+"""Tests for SPARQL 1.1 property paths (parsing and evaluation)."""
+
+import pytest
+
+from repro.exceptions import SPARQLSyntaxError
+from repro.rdf import IRI, Triple, TripleStore
+from repro.sparql import Variable, evaluate, parse_query
+from repro.sparql.paths import (
+    AlternativePath,
+    InversePath,
+    PredicateStep,
+    RepeatPath,
+    SequencePath,
+    path_to_string,
+)
+
+
+@pytest.fixture
+def store():
+    """A family tree plus a cycle for closure semantics."""
+    store = TripleStore()
+    triples = [
+        ("alice", "hasChild", "bob"),
+        ("bob", "hasChild", "carol"),
+        ("carol", "hasChild", "dave"),
+        ("alice", "spouse", "albert"),
+        ("bob", "knows", "carol"),
+        ("carol", "knows", "bob"),  # a knows-cycle
+    ]
+    for s, p, o in triples:
+        store.add(Triple(IRI(f"f:{s}"), IRI(f"f:{p}"), IRI(f"f:{o}")))
+    return store
+
+
+def names(rows, variable="x"):
+    return sorted(str(row[Variable(variable)]) for row in rows)
+
+
+class TestParsing:
+    def test_plain_predicate_stays_iri(self):
+        query = parse_query("SELECT ?x WHERE { ?x <f:hasChild> ?y }")
+        assert isinstance(query.patterns[0].predicate, IRI)
+
+    def test_sequence(self):
+        query = parse_query("SELECT ?x WHERE { ?x <f:a>/<f:b> ?y }")
+        predicate = query.patterns[0].predicate
+        assert isinstance(predicate, SequencePath)
+        assert len(predicate.steps) == 2
+
+    def test_alternative(self):
+        query = parse_query("SELECT ?x WHERE { ?x <f:a>|<f:b> ?y }")
+        assert isinstance(query.patterns[0].predicate, AlternativePath)
+
+    def test_inverse(self):
+        query = parse_query("SELECT ?x WHERE { ?x ^<f:a> ?y }")
+        assert isinstance(query.patterns[0].predicate, InversePath)
+
+    def test_closure_operators(self):
+        plus = parse_query("SELECT ?x WHERE { ?x <f:a>+ ?y }").patterns[0].predicate
+        star = parse_query("SELECT ?x WHERE { ?x <f:a>* ?y }").patterns[0].predicate
+        optional = parse_query("SELECT ?x WHERE { ?x <f:a>? ?y }").patterns[0].predicate
+        assert isinstance(plus, RepeatPath) and plus.min_count == 1
+        assert isinstance(star, RepeatPath) and star.min_count == 0
+        assert isinstance(optional, RepeatPath) and optional.at_most_one
+
+    def test_grouping(self):
+        query = parse_query("SELECT ?x WHERE { ?x (<f:a>/<f:b>)+ ?y }")
+        predicate = query.patterns[0].predicate
+        assert isinstance(predicate, RepeatPath)
+        assert isinstance(predicate.inner, SequencePath)
+
+    def test_empty_iri_in_path_rejected(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?x WHERE { ?x <f:a>/<> ?y }")
+
+    def test_path_to_string_roundtrippable(self):
+        query = parse_query("SELECT ?x WHERE { ?x (<f:a>/^<f:b>)|<f:c>+ ?y }")
+        rendered = path_to_string(query.patterns[0].predicate)
+        assert "f:a" in rendered and "^" in rendered and "+" in rendered
+
+
+class TestEvaluation:
+    def test_sequence_grandchild(self, store):
+        rows = evaluate(store, parse_query(
+            "SELECT ?x WHERE { <f:alice> <f:hasChild>/<f:hasChild> ?x }"
+        ))
+        assert names(rows) == ["f:carol"]
+
+    def test_inverse(self, store):
+        rows = evaluate(store, parse_query(
+            "SELECT ?x WHERE { <f:bob> ^<f:hasChild> ?x }"
+        ))
+        assert names(rows) == ["f:alice"]
+
+    def test_alternative(self, store):
+        rows = evaluate(store, parse_query(
+            "SELECT ?x WHERE { <f:alice> <f:hasChild>|<f:spouse> ?x }"
+        ))
+        assert names(rows) == ["f:albert", "f:bob"]
+
+    def test_plus_closure(self, store):
+        rows = evaluate(store, parse_query(
+            "SELECT ?x WHERE { <f:alice> <f:hasChild>+ ?x }"
+        ))
+        assert names(rows) == ["f:bob", "f:carol", "f:dave"]
+
+    def test_star_includes_self(self, store):
+        rows = evaluate(store, parse_query(
+            "SELECT ?x WHERE { <f:alice> <f:hasChild>* ?x }"
+        ))
+        assert names(rows) == ["f:alice", "f:bob", "f:carol", "f:dave"]
+
+    def test_optional_hop(self, store):
+        rows = evaluate(store, parse_query(
+            "SELECT ?x WHERE { <f:alice> <f:hasChild>? ?x }"
+        ))
+        assert names(rows) == ["f:alice", "f:bob"]
+
+    def test_closure_terminates_on_cycle(self, store):
+        rows = evaluate(store, parse_query(
+            "SELECT ?x WHERE { <f:bob> <f:knows>+ ?x }"
+        ))
+        assert names(rows) == ["f:bob", "f:carol"]
+
+    def test_bound_target(self, store):
+        rows = evaluate(store, parse_query(
+            "SELECT ?x WHERE { ?x <f:hasChild>+ <f:dave> }"
+        ))
+        assert names(rows) == ["f:alice", "f:bob", "f:carol"]
+
+    def test_both_bound_ask_style(self, store):
+        rows = evaluate(store, parse_query(
+            "SELECT ?y WHERE { <f:alice> <f:hasChild>+ <f:dave> . <f:alice> <f:spouse> ?y }"
+        ))
+        assert names(rows, "y") == ["f:albert"]
+
+    def test_uncle_style_path(self, store):
+        # ^hasChild/hasChild — siblings-of (the paper's uncle building block).
+        rows = evaluate(store, parse_query(
+            "SELECT ?x WHERE { <f:bob> ^<f:hasChild>/<f:hasChild> ?x }"
+        ))
+        assert names(rows) == ["f:bob"]
+
+    def test_join_with_plain_pattern(self, store):
+        rows = evaluate(store, parse_query(
+            "SELECT ?d WHERE { ?a <f:spouse> ?s . ?a <f:hasChild>+ ?d }"
+        ))
+        assert names(rows, "d") == ["f:bob", "f:carol", "f:dave"]
+
+    def test_unknown_predicate_empty(self, store):
+        rows = evaluate(store, parse_query(
+            "SELECT ?x WHERE { <f:alice> <f:nothing>+ ?x }"
+        ))
+        assert rows == []
+
+    def test_repeated_variable_consistency(self, store):
+        rows = evaluate(store, parse_query(
+            "SELECT ?x WHERE { ?x <f:knows>/<f:knows> ?x }"
+        ))
+        assert names(rows) == ["f:bob", "f:carol"]

@@ -1,0 +1,87 @@
+"""Tests for bundle save/load: the deployment round-trip."""
+
+import json
+
+import pytest
+
+from repro.bundle import load_bundle, save_bundle
+from repro.core import GAnswer
+from repro.datasets import build_dbpedia_mini, build_phrase_dataset
+from repro.exceptions import ReproError
+from repro.paraphrase import ParaphraseMiner
+from repro.paraphrase.miner import normalize_phrase
+
+
+@pytest.fixture(scope="module")
+def setup():
+    kg = build_dbpedia_mini()
+    dictionary = ParaphraseMiner(kg, max_path_length=4, top_k=3).mine(
+        build_phrase_dataset()
+    )
+    return kg, dictionary
+
+
+class TestBundleRoundTrip:
+    def test_files_created(self, setup, tmp_path):
+        kg, dictionary = setup
+        bundle_dir = save_bundle(tmp_path / "bundle", kg, dictionary)
+        assert (bundle_dir / "graph.nt").exists()
+        assert (bundle_dir / "dictionary.json").exists()
+        assert (bundle_dir / "manifest.json").exists()
+
+    def test_loaded_setup_answers_identically(self, setup, tmp_path):
+        kg, dictionary = setup
+        save_bundle(tmp_path / "bundle", kg, dictionary)
+        loaded_kg, loaded_dictionary = load_bundle(tmp_path / "bundle")
+
+        question = "Who was married to an actor that played in Philadelphia?"
+        original = GAnswer(kg, dictionary).answer(question)
+        restored = GAnswer(loaded_kg, loaded_dictionary).answer(question)
+        assert [str(a) for a in restored.answers] == [
+            str(a) for a in original.answers
+        ]
+
+    def test_paths_rebound_not_copied(self, setup, tmp_path):
+        """The loaded store assigns different term ids; the dictionary's
+        paths must still name the same predicates."""
+        kg, dictionary = setup
+        save_bundle(tmp_path / "bundle", kg, dictionary)
+        loaded_kg, loaded_dictionary = load_bundle(tmp_path / "bundle")
+        from repro.rdf.graph import step_predicate
+
+        key = normalize_phrase("was married to")
+        original_iri = kg.iri_of(step_predicate(dictionary.lookup(key)[0].path[0]))
+        loaded_iri = loaded_kg.iri_of(
+            step_predicate(loaded_dictionary.lookup(key)[0].path[0])
+        )
+        assert original_iri == loaded_iri
+
+    def test_multi_hop_paths_survive(self, setup, tmp_path):
+        kg, dictionary = setup
+        save_bundle(tmp_path / "bundle", kg, dictionary)
+        loaded_kg, loaded_dictionary = load_bundle(tmp_path / "bundle")
+        key = normalize_phrase("player in")
+        lengths = {m.length for m in loaded_dictionary.lookup(key)}
+        assert 2 in lengths  # the (team, league) path
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_bundle(tmp_path)
+
+    def test_version_mismatch_rejected(self, setup, tmp_path):
+        kg, dictionary = setup
+        bundle_dir = save_bundle(tmp_path / "bundle", kg, dictionary)
+        manifest = json.loads((bundle_dir / "manifest.json").read_text())
+        manifest["format_version"] = 99
+        (bundle_dir / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ReproError):
+            load_bundle(bundle_dir)
+
+    def test_truncated_graph_rejected(self, setup, tmp_path):
+        kg, dictionary = setup
+        bundle_dir = save_bundle(tmp_path / "bundle", kg, dictionary)
+        graph_path = bundle_dir / "graph.nt"
+        lines = graph_path.read_text().splitlines()
+        graph_path.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
+        with pytest.raises(ReproError):
+            load_bundle(bundle_dir)

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestAsk:
+    def test_ask_answers(self, capsys):
+        rc = main(["ask", "Who is the mayor of Berlin?"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "res:Klaus_Wowereit" in captured.out
+
+    def test_ask_failure_exit_code(self, capsys):
+        rc = main(["ask", "Give me all launch pads operated by NASA."])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "no answer" in captured.err
+
+    def test_ask_with_sparql(self, capsys):
+        rc = main(["ask", "--sparql", "Who is the mayor of Berlin?"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "SELECT DISTINCT" in captured.out
+
+    def test_ask_yes_no(self, capsys):
+        main(["ask", "Is Michelle Obama the wife of Barack Obama?"])
+        assert "yes" in capsys.readouterr().out
+
+    def test_aggregation_extension_flag(self, capsys):
+        rc = main(
+            ["--aggregation", "ask", "Who is the youngest player in the Premier League?"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert captured.out.strip() == "res:Raheem_Sterling"
+
+
+class TestSparql:
+    def test_select(self, capsys):
+        rc = main(["sparql", "SELECT ?x WHERE { <res:Berlin> <ont:mayor> ?x }"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "res:Klaus_Wowereit" in captured.out
+
+    def test_ask_form(self, capsys):
+        main(["sparql", "ASK { <res:Berlin> <ont:mayor> <res:Klaus_Wowereit> }"])
+        assert capsys.readouterr().out.strip() == "yes"
+
+    def test_count_form(self, capsys):
+        main(["sparql", "SELECT COUNT(?m) WHERE { ?p <ont:starring> ?m }"])
+        assert capsys.readouterr().out.strip().isdigit()
+
+
+class TestDictionary:
+    def test_listing(self, capsys):
+        rc = main(["dictionary"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "spouse" in captured.out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_k_option(self):
+        args = build_parser().parse_args(["--k", "5", "ask", "q"])
+        assert args.k == 5
+
+
+class TestShell:
+    def test_shell_loop(self, capsys, monkeypatch):
+        inputs = iter(["Who is the mayor of Berlin?", ""])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(inputs))
+        rc = main(["shell"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "res:Klaus_Wowereit" in captured.out
+
+    def test_shell_eof_exits(self, capsys, monkeypatch):
+        def raise_eof(prompt=""):
+            raise EOFError
+
+        monkeypatch.setattr("builtins.input", raise_eof)
+        assert main(["shell"]) == 0
+
+
+class TestEval:
+    def test_eval_summary(self, capsys):
+        rc = main(["eval", "--failures"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "right" in captured.out
+        assert "aggregation" in captured.out

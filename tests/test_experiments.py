@@ -1,0 +1,69 @@
+"""Smoke tests for the experiment drivers (the benchmarks run them fully;
+these check importability, shapes, and the cheap invariants)."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, default_setup
+
+
+class TestCommon:
+    def test_default_setup_cached(self):
+        assert default_setup(0) is default_setup(0)
+
+    def test_distractor_setups_distinct(self):
+        assert default_setup(0) is not default_setup(2)
+
+    def test_result_render(self):
+        result = ExperimentResult("x", "Title", ["a", "b"], [[1, 2.5]], ["note"])
+        text = result.render()
+        assert "Title" in text
+        assert "2.50" in text
+        assert "note" in text
+
+
+class TestOfflineDrivers:
+    def test_table4(self):
+        from repro.experiments.offline import table4_graph_statistics
+
+        result = table4_graph_statistics()
+        assert result.experiment_id == "table4"
+        assert len(result.rows) == 3
+
+    def test_table5(self):
+        from repro.experiments.offline import table5_phrase_statistics
+
+        result = table5_phrase_statistics()
+        assert len(result.rows) == 4
+
+    def test_tfidf_ablation_shape(self):
+        from repro.experiments.offline import tfidf_ablation
+
+        result = tfidf_ablation()
+        assert [row[3] for row in result.rows] == ["no", "yes"]
+
+    def test_precision_by_length_degrades(self):
+        from repro.experiments.offline import precision_by_length
+
+        curve = precision_by_length()
+        assert curve[1] > curve[max(curve)]
+
+
+class TestOnlineDrivers:
+    def test_table10_ratios_sum_to_one(self):
+        from repro.experiments.online import table10_failure_analysis
+
+        result = table10_failure_analysis()
+        ratios = [float(row[2].rstrip("%")) for row in result.rows]
+        assert sum(ratios) == pytest.approx(100, abs=3)
+
+    def test_table11_has_32_rows(self):
+        from repro.experiments.online import table11_answered_questions
+
+        assert len(table11_answered_questions().rows) == 32
+
+    def test_paper_constants_importable(self):
+        from repro.experiments import paper
+
+        assert paper.TABLE8["Our Method"][1] == 32
+        assert paper.TABLE8["DEANNA"][1] == 21
+        assert len(paper.TABLE11_QUESTION_IDS) == 32
