@@ -5,16 +5,26 @@ evaluation (see DESIGN.md's experiment index).  The regenerated rows are
 printed and also written to ``benchmarks/output/<experiment_id>.txt`` so
 EXPERIMENTS.md can quote them.
 
+Every benchmark additionally runs under a recording ``repro.obs`` tracer:
+the aggregated per-stage wall times and search counters of each test are
+written to ``benchmarks/output/traces/<test_name>.json`` (the
+``Tracer.summary()`` shape — see docs/observability.md).
+
 Run:  pytest benchmarks/ --benchmark-only
 """
 
 from __future__ import annotations
 
+import json
+import re
 from pathlib import Path
 
 import pytest
 
+from repro import obs
+
 _OUTPUT_DIR = Path(__file__).parent / "output"
+_TRACE_DIR = _OUTPUT_DIR / "traces"
 
 
 @pytest.fixture(scope="session")
@@ -29,6 +39,22 @@ def record_result():
         return result
 
     return _record
+
+
+@pytest.fixture(autouse=True)
+def trace_run(request):
+    """Record spans/counters for every benchmark and emit a timing JSON."""
+    tracer = obs.Tracer()
+    with obs.use_tracer(tracer):
+        yield tracer
+    summary = tracer.summary()
+    if not summary["spans"] and not summary["metrics"]["counters"]:
+        return
+    _TRACE_DIR.mkdir(parents=True, exist_ok=True)
+    safe_name = re.sub(r"[^\w.-]+", "_", request.node.name)
+    (_TRACE_DIR / f"{safe_name}.json").write_text(
+        json.dumps(summary, indent=2, default=str) + "\n"
+    )
 
 
 @pytest.fixture(scope="session")

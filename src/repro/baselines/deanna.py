@@ -24,8 +24,7 @@ evaluation harness and benchmarks treat both systems uniformly.
 
 from __future__ import annotations
 
-import time
-
+from repro import obs
 from repro.baselines.ilp import IntegerProgram, InfeasibleError, Sense
 from repro.core.argument_finding import ArgumentFinder
 from repro.core.graph_builder import build_semantic_query_graph
@@ -63,9 +62,11 @@ class Deanna:
         dictionary: ParaphraseDictionary,
         max_candidates: int = 10,
         linker: EntityLinker | None = None,
+        tracer=None,
     ):
         self.kg = kg
         self.dictionary = dictionary
+        self.tracer = tracer
         self.parser = DependencyParser()
         self.extractor = RelationExtractor(dictionary)
         # No heuristic recall rules: they are the compared paper's addition.
@@ -80,30 +81,39 @@ class Deanna:
     # ------------------------------------------------------------------ #
 
     def answer(self, question: str) -> Answer:
+        tracer = self.tracer if self.tracer is not None else obs.get_tracer()
         result = Answer(question=question)
-        result.analysis = analyze_question(question)
-        started = time.perf_counter()
-        selection = self._understand(question, result)
-        result.understanding_time = time.perf_counter() - started
-        if selection is None:
-            return result
-        graph, chosen_vertices, chosen_edges = selection
+        with tracer.span("answer", question=question, system="deanna") as root:
+            result.analysis = analyze_question(question)
+            with tracer.span("understanding") as span:
+                selection = self._understand(question, result, tracer)
+            result.understanding_time = span.duration
+            if selection is None:
+                root.set(failure=result.failure)
+                return result
+            graph, chosen_vertices, chosen_edges = selection
 
-        started = time.perf_counter()
-        self._evaluate(graph, chosen_vertices, chosen_edges, result)
-        result.evaluation_time = time.perf_counter() - started
+            with tracer.span("evaluation") as span:
+                self._evaluate(graph, chosen_vertices, chosen_edges, result)
+            result.evaluation_time = span.duration
+            root.set(
+                failure=result.failure,
+                answers=len(result.answers),
+                boolean=result.boolean,
+            )
         return result
 
     # ------------------------------------------------------------------ #
     # Stage 1: understanding = candidates + joint ILP disambiguation
     # ------------------------------------------------------------------ #
 
-    def _understand(self, question: str, result: Answer):
-        try:
-            tree = self.parser.parse(question)
-        except ParseError:
-            result.failure = FAILURE_PARSE
-            return None
+    def _understand(self, question: str, result: Answer, tracer=obs.NOOP):
+        with tracer.span("parse"):
+            try:
+                tree = self.parser.parse(question)
+            except ParseError:
+                result.failure = FAILURE_PARSE
+                return None
         embeddings = self.extractor.find_embeddings(tree)
         relations: list[SemanticRelation] = []
         for embedding in embeddings:
@@ -125,14 +135,17 @@ class Deanna:
             return None
         result.semantic_graph = graph
 
-        vertex_candidates = self._vertex_candidates(graph, result)
-        if vertex_candidates is None:
-            return None
-        edge_candidates = self._edge_candidates(graph, result)
-        if edge_candidates is None:
-            return None
+        with tracer.span("candidate_generation"):
+            vertex_candidates = self._vertex_candidates(graph, result)
+            if vertex_candidates is None:
+                return None
+            edge_candidates = self._edge_candidates(graph, result)
+            if edge_candidates is None:
+                return None
 
-        return self._solve_joint_ilp(graph, vertex_candidates, edge_candidates, result)
+        return self._solve_joint_ilp(
+            graph, vertex_candidates, edge_candidates, result, tracer
+        )
 
     def _vertex_candidates(self, graph: SemanticQueryGraph, result: Answer):
         candidates: dict[int, list[LinkCandidate] | None] = {}
@@ -167,7 +180,9 @@ class Deanna:
             candidates[index] = single
         return candidates
 
-    def _solve_joint_ilp(self, graph, vertex_candidates, edge_candidates, result: Answer):
+    def _solve_joint_ilp(
+        self, graph, vertex_candidates, edge_candidates, result: Answer, tracer=obs.NOOP
+    ):
         """Build and solve the disambiguation ILP.
 
         Variables: one selector per candidate of every phrase; one pair
@@ -219,12 +234,15 @@ class Deanna:
                             {pair: 1.0, ename: -1.0}, Sense.LE, 0.0
                         )
 
-        try:
-            solution = program.solve()
-        except InfeasibleError:
-            result.failure = FAILURE_NO_MATCH
-            return None
+        with tracer.span("ilp_solve", variables=program.variable_count()) as span:
+            try:
+                solution = program.solve()
+            except InfeasibleError:
+                result.failure = FAILURE_NO_MATCH
+                return None
+            span.set(nodes_explored=solution.nodes_explored)
         self.last_ilp_nodes = solution.nodes_explored
+        tracer.metrics.incr("deanna.ilp_nodes_explored", solution.nodes_explored)
 
         chosen_vertices: dict[int, LinkCandidate | None] = {}
         for vertex_id, candidates in vertex_candidates.items():

@@ -5,13 +5,17 @@ with a SPARQL skeleton; slots are filled with the *top-1* entity link and
 the *top-1* dictionary predicate — no joint reasoning at all.  Brittle by
 design; useful as a floor in the end-to-end comparison and as the "manually
 defined SPARQL templates" contrast of Section 7.
+
+Stage timing comes from the shared ``repro.obs`` spans (the same
+``understanding`` / ``evaluation`` names as the main pipeline), so the
+harness and Figure 6 compare all systems on identical instrumentation.
 """
 
 from __future__ import annotations
 
 import re
-import time
 
+from repro import obs
 from repro.core.pipeline import Answer, FAILURE_ENTITY_LINKING, FAILURE_NO_MATCH, FAILURE_RELATION_EXTRACTION
 from repro.linking.linker import EntityLinker
 from repro.nlp.questions import analyze_question
@@ -33,20 +37,40 @@ _TEMPLATES = [
 class TemplateQA:
     """Top-1 template instantiation: one pattern, one entity, one predicate."""
 
-    def __init__(self, kg: KnowledgeGraph, dictionary: ParaphraseDictionary):
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        dictionary: ParaphraseDictionary,
+        tracer=None,
+    ):
         self.kg = kg
         self.dictionary = dictionary
         self.linker = EntityLinker(kg, max_candidates=1)
+        self.tracer = tracer
 
     def answer(self, question: str) -> Answer:
+        tracer = self.tracer if self.tracer is not None else obs.get_tracer()
         result = Answer(question=question)
-        result.analysis = analyze_question(question)
-        started = time.perf_counter()
+        with tracer.span("answer", question=question, system="template_qa") as root:
+            result.analysis = analyze_question(question)
+            with tracer.span("understanding") as span:
+                slots = self._understand(question, result, tracer)
+            result.understanding_time = span.duration
+            if slots is not None:
+                with tracer.span("evaluation") as span:
+                    self._evaluate(*slots, result)
+                result.evaluation_time = span.duration
+            root.set(failure=result.failure, answers=len(result.answers))
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def _understand(self, question: str, result: Answer, tracer):
+        """Template match + top-1 predicate and entity, or None on failure."""
         slots = self._match_template(question)
         if slots is None:
             result.failure = FAILURE_RELATION_EXTRACTION
-            result.understanding_time = time.perf_counter() - started
-            return result
+            return None
         relation_phrase, entity_phrase = slots
 
         # The templates strip the connective; try the dictionary's phrasings.
@@ -66,16 +90,16 @@ class TemplateQA:
                 break
         if not mappings:
             result.failure = FAILURE_RELATION_EXTRACTION
-            result.understanding_time = time.perf_counter() - started
-            return result
-        links = self.linker.link(entity_phrase)
+            return None
+        with tracer.span("linking", phrase=entity_phrase) as span:
+            links = self.linker.link(entity_phrase, tracer=tracer)
+            span.set(candidates=len(links))
         if not links:
             result.failure = FAILURE_ENTITY_LINKING
-            result.understanding_time = time.perf_counter() - started
-            return result
-        result.understanding_time = time.perf_counter() - started
+            return None
+        return mappings, links
 
-        started = time.perf_counter()
+    def _evaluate(self, mappings, links, result: Answer) -> None:
         step = mappings[0].path[0]
         predicate = serialize_term(self.kg.iri_of(step_predicate(step)))
         entity = serialize_term(self.kg.term_of(links[0].node_id))
@@ -87,10 +111,8 @@ class TemplateQA:
         result.sparql_queries = [query_text]
         rows = sparql_evaluate(self.kg.store, parse_query(query_text))
         result.answers = [row[variable] for row in rows for variable in row]
-        result.evaluation_time = time.perf_counter() - started
         if not result.answers:
             result.failure = FAILURE_NO_MATCH
-        return result
 
     @staticmethod
     def _match_template(question: str) -> tuple[str, str] | None:

@@ -3,6 +3,8 @@
 Usage::
 
     python -m repro ask "Who is the mayor of Berlin?"
+    python -m repro --trace ask "Who is the mayor of Berlin?"  # span tree
+    python -m repro --trace-json trace.json ask "..."          # JSON export
     python -m repro shell                 # interactive question loop
     python -m repro sparql "SELECT ?x WHERE { ?x <ont:mayor> ?y }"
     python -m repro eval                  # the QALD benchmark summary
@@ -14,6 +16,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.core import GAnswer
 from repro.experiments.common import default_setup
 
@@ -146,6 +149,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--distractors", type=int, default=0,
         help="label clones per entity (DBpedia-scale ambiguity)",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record per-stage spans and print the span tree to stderr",
+    )
+    parser.add_argument(
+        "--trace-json", metavar="FILE", default=None,
+        help="export the recorded trace (spans + counters) as JSON; "
+        "'-' writes to stdout",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     ask = commands.add_parser("ask", help="answer one question")
@@ -174,7 +186,32 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if not (args.trace or args.trace_json):
+        return args.func(args)
+
+    # Tracing: install a recording tracer for the whole command; every
+    # component (pipeline, baselines, search, linker, miner) picks it up.
+    tracer = obs.Tracer()
+    with obs.use_tracer(tracer):
+        rc = args.func(args)
+    if args.trace:
+        rendered = tracer.render()
+        if rendered:
+            print("\n-- trace:", file=sys.stderr)
+            print(rendered, file=sys.stderr)
+    if args.trace_json:
+        payload = tracer.to_json(indent=2)
+        if args.trace_json == "-":
+            print(payload)
+        else:
+            try:
+                with open(args.trace_json, "w", encoding="utf-8") as handle:
+                    handle.write(payload + "\n")
+            except OSError as exc:
+                print(f"error: cannot write trace JSON: {exc}", file=sys.stderr)
+                return 1
+            print(f"-- trace JSON written to {args.trace_json}", file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import re
 
+from repro import obs
 from repro.core.semantic_graph import QSVertex, SemanticQueryGraph
 from repro.linking.linker import EntityLinker
 from repro.match.candidates import (
@@ -51,20 +52,25 @@ class PhraseMapper:
 
     # ------------------------------------------------------------------ #
 
-    def build_candidate_space(self, graph: SemanticQueryGraph) -> CandidateSpace:
+    def build_candidate_space(
+        self, graph: SemanticQueryGraph, tracer=None
+    ) -> CandidateSpace:
         """The matching problem for Q^S: C_v and C_e for every vertex/edge."""
+        if tracer is None:
+            tracer = obs.get_tracer()
         space = CandidateSpace()
         for vertex in graph.vertices.values():
-            space.add_vertex(self._map_vertex(vertex))
+            space.add_vertex(self._map_vertex(vertex, tracer))
         for edge in graph.edges:
             mappings = self.dictionary.lookup(edge.phrase_words)
             candidates = [EdgeCandidate(m.path, m.confidence) for m in mappings]
+            tracer.metrics.incr("mapping.edge_candidates", len(candidates))
             space.add_edge(QueryEdge(edge.source, edge.target, candidates=candidates))
         return space
 
     # ------------------------------------------------------------------ #
 
-    def _map_vertex(self, vertex: QSVertex) -> QueryVertex:
+    def _map_vertex(self, vertex: QSVertex, tracer=obs.NOOP) -> QueryVertex:
         if vertex.is_wh:
             return QueryVertex(
                 vertex.vertex_id,
@@ -72,10 +78,12 @@ class PhraseMapper:
                 wildcard_filter=self._wildcard_filter(vertex.node.lower),
             )
         phrase = self._longest_linkable_phrase(vertex)
-        candidates = [
-            VertexCandidate(link.node_id, link.score, link.is_class)
-            for link in self.linker.link(phrase)
-        ]
+        with tracer.span("linking", phrase=phrase) as span:
+            candidates = [
+                VertexCandidate(link.node_id, link.score, link.is_class)
+                for link in self.linker.link(phrase, tracer=tracer)
+            ]
+            span.set(candidates=len(candidates))
         if not candidates and vertex.node.pos in ("NN", "NNS"):
             # An unlinkable common noun ("the creator of Miffy") denotes an
             # unconstrained variable, not a failed entity mention — proper

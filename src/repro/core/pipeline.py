@@ -16,9 +16,9 @@ relation extraction, aggregation, other.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.argument_finding import ArgumentFinder
 from repro.core.graph_builder import build_semantic_query_graph
 from repro.core.phrase_mapping import PhraseMapper
@@ -38,9 +38,12 @@ from repro.rdf.terms import Term
 def target_vertices(graph: SemanticQueryGraph) -> list:
     """The vertices whose bindings answer the question.
 
-    Wh vertices win; otherwise the object of an imperative ("Give me all
-    MOVIES ...") or a wh-determined noun ("which CITIES"); otherwise the
-    first common-noun vertex.  Empty for yes/no questions.
+    Wh vertices win (all of them — a multi-wh question asks for a tuple);
+    otherwise the single best fallback in sentence order: a wh- or
+    "all"-determined nominal ("which CITIES", "Give me all MOVIES ..."),
+    then the object of an imperative, then the first common noun.  Every
+    non-wh branch yields at most one target so answer read-off and SPARQL
+    projection stay consistent.  Empty for yes/no questions.
     """
     wh = sorted(graph.wh_vertices(), key=lambda v: v.node.index)
     if wh:
@@ -56,12 +59,12 @@ def target_vertices(graph: SemanticQueryGraph) -> list:
         ):
             candidates.append(vertex)
     if candidates:
-        return sorted(candidates, key=lambda v: v.node.index)
+        return sorted(candidates, key=lambda v: v.node.index)[:1]
     direct_objects = [
         vertex for vertex in graph.vertices.values() if vertex.node.deprel == "dobj"
     ]
     if direct_objects:
-        return sorted(direct_objects, key=lambda v: v.node.index)
+        return sorted(direct_objects, key=lambda v: v.node.index)[:1]
     common = [
         vertex
         for vertex in graph.vertices.values()
@@ -134,6 +137,7 @@ class GAnswer:
         use_pruning: bool = True,
         enable_aggregation: bool = False,
         linker: EntityLinker | None = None,
+        tracer=None,
     ):
         if k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
@@ -141,6 +145,7 @@ class GAnswer:
         self.dictionary = dictionary
         self.k = k
         self.enable_aggregation = enable_aggregation
+        self.tracer = tracer
         self.parser = DependencyParser()
         self.extractor = RelationExtractor(dictionary)
         self.argument_finder = ArgumentFinder(use_heuristics=use_heuristic_rules)
@@ -153,82 +158,102 @@ class GAnswer:
 
     def answer(self, question: str) -> Answer:
         """Answer a natural language question."""
+        tracer = self.tracer if self.tracer is not None else obs.get_tracer()
         result = Answer(question=question)
-        started = time.perf_counter()
-        result.analysis = analyze_question(question)
+        with tracer.span("answer", question=question) as root:
+            with tracer.span("understanding") as span:
+                result.analysis = analyze_question(question)
+                graph = self._understand(question, result, tracer)
+            result.understanding_time = span.duration
+            if graph is None:
+                root.set(failure=result.failure)
+                return result
+            result.semantic_graph = graph
 
-        graph = self._understand(question, result)
-        result.understanding_time = time.perf_counter() - started
-        if graph is None:
-            return result
-        result.semantic_graph = graph
-
-        started = time.perf_counter()
-        self._evaluate(graph, result)
-        result.evaluation_time = time.perf_counter() - started
-        if result.analysis.is_aggregation:
-            if self.enable_aggregation:
-                # Extension (the paper's future work): post-process
-                # superlatives over the matched answer set.
-                self._apply_aggregation(question, result)
-            elif len(result.answers) > 1:
-                # The base method cannot aggregate: a superlative question
-                # with several matched answers is (at best) partially right
-                # — Table 10's largest failure class.  KBs with a direct
-                # superlative predicate (largestCity) still answer exactly.
-                result.failure = FAILURE_AGGREGATION
+            with tracer.span("evaluation") as span:
+                self._evaluate(graph, result, tracer)
+            result.evaluation_time = span.duration
+            if result.analysis.is_aggregation:
+                if self.enable_aggregation:
+                    # Extension (the paper's future work): post-process
+                    # superlatives over the matched answer set.
+                    self._apply_aggregation(question, result)
+                elif len(result.answers) > 1:
+                    # The base method cannot aggregate: a superlative question
+                    # with several matched answers is (at best) partially right
+                    # — Table 10's largest failure class.  KBs with a direct
+                    # superlative predicate (largestCity) still answer exactly.
+                    result.failure = FAILURE_AGGREGATION
+            root.set(
+                failure=result.failure,
+                answers=len(result.answers),
+                boolean=result.boolean,
+            )
         return result
 
     # ------------------------------------------------------------------ #
     # Stage 1: question understanding
     # ------------------------------------------------------------------ #
 
-    def _understand(self, question: str, result: Answer) -> SemanticQueryGraph | None:
-        try:
-            tree = self.parser.parse(question)
-        except ParseError:
-            result.failure = FAILURE_PARSE
-            return None
-        embeddings = self.extractor.find_embeddings(tree)
+    def _understand(
+        self, question: str, result: Answer, tracer=obs.NOOP
+    ) -> SemanticQueryGraph | None:
+        with tracer.span("parse"):
+            try:
+                tree = self.parser.parse(question)
+            except ParseError:
+                result.failure = FAILURE_PARSE
+                return None
+        with tracer.span("relation_extraction") as span:
+            embeddings = self.extractor.find_embeddings(tree)
+            span.set(embeddings=len(embeddings))
         relations: list[SemanticRelation] = []
         rules_used: set[str] = set()
-        for embedding in embeddings:
-            arguments = self.argument_finder.find_arguments(tree, embedding)
-            if arguments is None:
-                continue  # the paper discards the relation phrase
-            rules_used |= arguments.rules_used
-            relations.append(
-                SemanticRelation(
-                    embedding.phrase_words,
-                    arguments.arg1,
-                    arguments.arg2,
-                    embedding.nodes,
+        with tracer.span("argument_finding") as span:
+            for embedding in embeddings:
+                arguments = self.argument_finder.find_arguments(tree, embedding)
+                if arguments is None:
+                    continue  # the paper discards the relation phrase
+                rules_used |= arguments.rules_used
+                relations.append(
+                    SemanticRelation(
+                        embedding.phrase_words,
+                        arguments.arg1,
+                        arguments.arg2,
+                        embedding.nodes,
+                    )
                 )
-            )
+            span.set(relations=len(relations), rules=sorted(rules_used))
         result.rules_used = frozenset(rules_used)
-        # Question-understanding extension: demonym adjectives carry an
-        # implicit relation ("Argentine films" → country Argentina).
-        from repro.core.demonyms import extract_demonym_relations
+        with tracer.span("qs_build") as span:
+            # Question-understanding extension: demonym adjectives carry an
+            # implicit relation ("Argentine films" → country Argentina).
+            from repro.core.demonyms import extract_demonym_relations
 
-        used_indexes = frozenset(
-            index for embedding in embeddings for index in embedding.node_indexes()
-        )
-        relations.extend(extract_demonym_relations(tree, used_indexes))
-        if not relations:
-            result.failure = FAILURE_RELATION_EXTRACTION
-            return None
-        graph = build_semantic_query_graph(relations)
-        if not graph.edges:
-            result.failure = FAILURE_RELATION_EXTRACTION
-            return None
+            used_indexes = frozenset(
+                index for embedding in embeddings for index in embedding.node_indexes()
+            )
+            relations.extend(extract_demonym_relations(tree, used_indexes))
+            if not relations:
+                result.failure = FAILURE_RELATION_EXTRACTION
+                return None
+            graph = build_semantic_query_graph(relations)
+            if not graph.edges:
+                result.failure = FAILURE_RELATION_EXTRACTION
+                return None
+            span.set(vertices=len(graph.vertices), edges=len(graph.edges))
         return graph
 
     # ------------------------------------------------------------------ #
     # Stage 2: query evaluation
     # ------------------------------------------------------------------ #
 
-    def _evaluate(self, graph: SemanticQueryGraph, result: Answer) -> None:
-        space = self.mapper.build_candidate_space(graph)
+    def _evaluate(
+        self, graph: SemanticQueryGraph, result: Answer, tracer=obs.NOOP
+    ) -> None:
+        with tracer.span("candidate_mapping") as span:
+            space = self.mapper.build_candidate_space(graph, tracer=tracer)
+            span.set(vertices=len(space.vertices), edges=len(space.edges))
         for vertex_id, query_vertex in space.vertices.items():
             if not query_vertex.wildcard and not query_vertex.candidates:
                 result.failure = FAILURE_ENTITY_LINKING
@@ -242,7 +267,7 @@ class GAnswer:
         components.sort(key=lambda c: 0 if primary_id in c.vertices else 1)
         per_component: list[list[GraphMatch]] = []
         for component in components:
-            found = self.searcher.search(component)
+            found = self.searcher.search(component, tracer=tracer)
             if not found.matches:
                 if targets:
                     result.failure = FAILURE_NO_MATCH
@@ -272,19 +297,23 @@ class GAnswer:
                     seen.add(term)
                     result.answers.append(term)
             target_ids = {target.vertex_id for target in targets}
-            result.sparql_queries = [
-                match_to_sparql(self.kg, graph, match, target_ids)
-                for match in result.matches[: self.k]
-            ]
+            with tracer.span("sparql_generation") as span:
+                result.sparql_queries = [
+                    match_to_sparql(self.kg, graph, match, target_ids)
+                    for match in result.matches[: self.k]
+                ]
+                span.set(queries=len(result.sparql_queries))
             if not result.answers:
                 result.failure = FAILURE_NO_MATCH
         else:
             # Yes/no: a match is a proof.
             result.boolean = bool(result.matches)
-            result.sparql_queries = [
-                match_to_sparql(self.kg, graph, match, set())
-                for match in result.matches[: self.k]
-            ]
+            with tracer.span("sparql_generation") as span:
+                result.sparql_queries = [
+                    match_to_sparql(self.kg, graph, match, set())
+                    for match in result.matches[: self.k]
+                ]
+                span.set(queries=len(result.sparql_queries))
 
     def _target_vertices(self, graph: SemanticQueryGraph):
         return target_vertices(graph)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.match.candidates import CandidateSpace
 from repro.match.matcher import GraphMatch, SubgraphMatcher, _log
 from repro.match.pruning import neighborhood_prune
@@ -30,12 +31,27 @@ from repro.rdf.graph import KnowledgeGraph
 
 @dataclass(slots=True)
 class TopKResult:
-    """Top-k matches plus search diagnostics."""
+    """Top-k matches plus search diagnostics.
+
+    ``terminated_by`` attributes how the search ended — Table 10 failure
+    analysis and the trace counters read it:
+
+    * ``"threshold"`` — the TA stop fired (θ ≥ Upbound, Equation 3);
+    * ``"exhausted"`` — some candidate list was fully consumed, proving
+      completeness (with or without matches found);
+    * ``"pruned_empty"`` — neighborhood pruning emptied a candidate list
+      before any seeding happened;
+    * ``"empty"`` — a candidate list was already empty before pruning
+      (the query was unsatisfiable as mapped).
+    """
 
     matches: list[GraphMatch] = field(default_factory=list)
     seeds_explored: int = 0
     candidates_pruned: int = 0
-    terminated_by: str = "empty"  # "threshold" | "exhausted" | "empty"
+    terminated_by: str = "empty"  # "threshold"|"exhausted"|"pruned_empty"|"empty"
+    #: (depth, θ, Upbound) steps recorded per TA round under a recording
+    #: tracer — how fast the Equation 3 bound closed on the threshold.
+    ta_trajectory: list[dict] = field(default_factory=list)
 
     def __iter__(self):
         return iter(self.matches)
@@ -59,6 +75,7 @@ class TopKSearch:
         use_ta: bool = True,
         use_pruning: bool = True,
         max_matches_per_seed: int = 10_000,
+        tracer=None,
     ):
         if k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
@@ -69,16 +86,53 @@ class TopKSearch:
         self.use_ta = use_ta
         self.use_pruning = use_pruning
         self.max_matches_per_seed = max_matches_per_seed
+        self.tracer = tracer
 
     # ------------------------------------------------------------------ #
 
-    def search(self, space: CandidateSpace) -> TopKResult:
+    def search(self, space: CandidateSpace, tracer=None) -> TopKResult:
         """Top-k matches of a connected candidate space."""
+        if tracer is None:
+            tracer = self.tracer if self.tracer is not None else obs.get_tracer()
+        with tracer.span(
+            "top_k.search", vertices=len(space.vertices), edges=len(space.edges)
+        ) as span:
+            result, matcher = self._search(space, tracer)
+            metrics = tracer.metrics
+            metrics.incr("top_k.searches")
+            metrics.incr("top_k.seeds_explored", result.seeds_explored)
+            metrics.incr("top_k.candidates_pruned", result.candidates_pruned)
+            metrics.incr(f"top_k.terminated.{result.terminated_by}")
+            span.set(
+                seeds_explored=result.seeds_explored,
+                candidates_pruned=result.candidates_pruned,
+                terminated_by=result.terminated_by,
+                matches=len(result.matches),
+            )
+            if result.ta_trajectory:
+                span.set(ta_trajectory=result.ta_trajectory)
+            if matcher is not None:
+                metrics.incr("matcher.expansions", matcher.expansions)
+                metrics.incr("matcher.rejected_bindings", matcher.rejected_bindings)
+                span.set(
+                    expansions=matcher.expansions,
+                    rejected_bindings=matcher.rejected_bindings,
+                )
+        return result
+
+    def _search(
+        self, space: CandidateSpace, tracer
+    ) -> tuple[TopKResult, SubgraphMatcher | None]:
         result = TopKResult()
+        empty_before_pruning = space.has_empty_list()
         if self.use_pruning:
-            result.candidates_pruned = neighborhood_prune(self.kg, space)
+            result.candidates_pruned = neighborhood_prune(self.kg, space, tracer)
         if space.has_empty_list():
-            return result
+            # Attribute the no-match cause: a list that was empty before
+            # pruning means the query was never satisfiable; one emptied
+            # *by* pruning means every candidate was provably dead.
+            result.terminated_by = "empty" if empty_before_pruning else "pruned_empty"
+            return result, None
 
         matcher = SubgraphMatcher(self.kg, space, max_matches=self.max_matches_per_seed)
         seeded_lists = [
@@ -90,11 +144,12 @@ class TopKSearch:
             # Degenerate all-wildcard query: exhaustive enumeration.
             result.matches = matcher.all_matches()[: self.k]
             result.terminated_by = "exhausted"
-            return result
+            return result, matcher
 
         edge_bound = sum(_log(edge.best_confidence()) for edge in space.edges)
         seen: set[frozenset[tuple[int, int]]] = set()
         collected: list[GraphMatch] = []
+        trajectory: list[dict] = []
         depth = 0
         max_depth = max(len(candidates) for _v, candidates in seeded_lists)
         terminated = "exhausted"
@@ -111,36 +166,44 @@ class TopKSearch:
             # A fully-consumed list means every match has been seeded.
             if any(depth >= len(candidates) for _v, candidates in seeded_lists):
                 break
-            if self.use_ta and self._threshold_reached(
-                collected, seeded_lists, depth, edge_bound
-            ):
-                terminated = "threshold"
-                break
+            if self.use_ta:
+                reached, threshold, upbound = self._threshold_status(
+                    collected, seeded_lists, depth, edge_bound
+                )
+                if tracer.enabled:
+                    trajectory.append(
+                        {"depth": depth, "threshold": threshold, "upbound": upbound}
+                    )
+                if reached:
+                    terminated = "threshold"
+                    break
         result.matches = self._select_top_k(collected)
-        result.terminated_by = terminated if result.matches else "empty"
-        return result
+        result.terminated_by = terminated
+        result.ta_trajectory = trajectory
+        return result, matcher
 
     # ------------------------------------------------------------------ #
 
-    def _threshold_reached(
+    def _threshold_status(
         self,
         collected: list[GraphMatch],
         seeded_lists,
         depth: int,
         edge_bound: float,
-    ) -> bool:
-        if len(collected) < self.k:
-            return False
-        scores = sorted((m.score for m in collected), reverse=True)
-        threshold = scores[self.k - 1]
+    ) -> tuple[bool, float | None, float]:
+        """(stop?, current θ or None if < k matches, Equation 3 upper bound)."""
         upbound = edge_bound
         for _vertex_id, candidates in seeded_lists:
             upbound += _log(candidates[depth].confidence)
+        if len(collected) < self.k:
+            return False, None, upbound
+        scores = sorted((m.score for m in collected), reverse=True)
+        threshold = scores[self.k - 1]
         # Strict comparison: an undiscovered match could score exactly the
         # threshold, and footnote 4 returns all matches tied at the k-th
         # score.  (The paper's pseudo-code stops at ≥; strictness costs a
         # little work and buys tie completeness.)
-        return threshold > upbound + 1e-12
+        return threshold > upbound + 1e-12, threshold, upbound
 
     def _select_top_k(self, collected: list[GraphMatch]) -> list[GraphMatch]:
         """Best k matches, keeping all matches tied with the k-th score."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol
 
+from repro import obs
 from repro.datasets.qald import QALDQuestion
 from repro.eval.metrics import (
     QuestionScore,
@@ -80,16 +81,54 @@ class EvaluationRun:
                 return outcome
         raise KeyError(f"no outcome for question {qid}")
 
+    def timing_summary(self) -> dict:
+        """Machine-readable per-stage wall times across the run.
+
+        The shape benchmark runs serialize next to their tables: per stage
+        ``{total_s, mean_s, max_s}`` over every question answered.
+        """
+        understanding = [o.understanding_time for o in self.outcomes]
+        evaluation = [o.evaluation_time for o in self.outcomes]
+        totals = [o.total_time for o in self.outcomes]
+        return {
+            "system": self.system_name,
+            "questions": len(self.outcomes),
+            "stages": {
+                "understanding": _stage_stats(understanding),
+                "evaluation": _stage_stats(evaluation),
+                "total": _stage_stats(totals),
+            },
+        }
+
+
+def _stage_stats(times: list[float]) -> dict:
+    if not times:
+        return {"total_s": 0.0, "mean_s": 0.0, "max_s": 0.0}
+    return {
+        "total_s": sum(times),
+        "mean_s": sum(times) / len(times),
+        "max_s": max(times),
+    }
+
 
 def evaluate_system(
     system: SystemLike,
     questions: list[QALDQuestion],
     system_name: str = "system",
+    tracer=None,
 ) -> EvaluationRun:
-    """Run ``system`` over ``questions`` and score every answer."""
+    """Run ``system`` over ``questions`` and score every answer.
+
+    Each question is answered inside a ``question`` span (qid attribute),
+    so a recording tracer — injected here or installed process-wide —
+    groups the per-stage spans of each question under one subtree.
+    """
+    if tracer is None:
+        tracer = obs.get_tracer()
     run = EvaluationRun(system_name=system_name)
     for question in questions:
-        result = system.answer(question.text)
+        with tracer.span("question", qid=question.qid, system=system_name):
+            result = system.answer(question.text)
         score = question_score(question, result.answers, result.boolean)
         run.outcomes.append(
             QuestionOutcome(

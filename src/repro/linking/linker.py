@@ -16,6 +16,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro import obs
 from repro.linking.index import IndexEntry, LabelIndex, normalize_label
 from repro.linking.similarity import combined_similarity
 from repro.rdf.graph import KnowledgeGraph
@@ -54,17 +55,19 @@ class EntityLinker:
         kg: KnowledgeGraph,
         max_candidates: int = 10,
         min_score: float = 0.25,
+        tracer=None,
     ):
         self.kg = kg
         self.max_candidates = max_candidates
         self.min_score = min_score
+        self.tracer = tracer
         self.index = LabelIndex(kg)
         self._max_degree = max(
             (kg.degree(node_id, include_structural=True) for node_id in kg.store.node_ids()),
             default=1,
         )
 
-    def link(self, phrase: str) -> list[LinkCandidate]:
+    def link(self, phrase: str, tracer=None) -> list[LinkCandidate]:
         """Confidence-ranked candidates for ``phrase`` (may be empty).
 
         Exact normalized label matches always rank above partial matches;
@@ -108,7 +111,15 @@ class EntityLinker:
                 if candidate.score >= self.min_score:
                     self._keep_best(scored, candidate)
         ranked = sorted(scored.values(), key=lambda c: (-c.score, c.node_id))
-        return ranked[: self.max_candidates]
+        kept = ranked[: self.max_candidates]
+        if tracer is None:
+            tracer = self.tracer if self.tracer is not None else obs.get_tracer()
+        metrics = tracer.metrics
+        metrics.incr("linker.lookups")
+        metrics.incr("linker.candidates_returned", len(kept))
+        if not kept:
+            metrics.incr("linker.misses")
+        return kept
 
     def _keep_best(self, scored: dict[int, LinkCandidate], candidate: LinkCandidate) -> None:
         existing = scored.get(candidate.node_id)

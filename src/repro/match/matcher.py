@@ -20,7 +20,7 @@ mappings.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.match.candidates import (
     CandidateSpace,
@@ -49,12 +49,18 @@ class GraphMatch:
     vertex_confidences: tuple[tuple[int, float], ...]
     edge_assignments: tuple[tuple[int, Path, float], ...]  # (edge idx, path, conf)
     score: float
+    #: vertex → node lookup table, precomputed once so the hot callers
+    #: (SPARQL generation, answer read-off) avoid a linear scan per lookup.
+    #: Derived from ``bindings``, hence excluded from equality and hashing.
+    _binding_map: dict[int, int] = field(
+        init=False, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_binding_map", dict(self.bindings))
 
     def binding_of(self, vertex_id: int) -> int | None:
-        for query_vertex, node in self.bindings:
-            if query_vertex == vertex_id:
-                return node
-        return None
+        return self._binding_map.get(vertex_id)
 
     def key(self) -> frozenset[tuple[int, int]]:
         """Identity of the match: the vertex→node binding set."""
@@ -77,6 +83,11 @@ class SubgraphMatcher:
         # Definition 3 accepts either edge orientation; SPARQL compilation
         # (graph_executor) needs the directional semantics instead.
         self.directed_edges = directed_edges
+        # Search-effort counters, accumulated locally (plain int adds keep
+        # the hot loop free of tracer calls) and reported by the top-k
+        # layer as ``matcher.expansions`` / ``matcher.rejected_bindings``.
+        self.expansions = 0
+        self.rejected_bindings = 0
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -187,10 +198,13 @@ class SubgraphMatcher:
         used_nodes = set(bindings.values())
         for node, per_edge in sorted(reachable.items()):
             if node in used_nodes:
+                self.rejected_bindings += 1
                 continue
             confidence = self._admission_confidence(vertex, node)
             if confidence is None:
+                self.rejected_bindings += 1
                 continue
+            self.expansions += 1
             bindings[vertex_id] = node
             vertex_confidences[vertex_id] = confidence
             for edge_index, (path, edge_confidence) in per_edge.items():

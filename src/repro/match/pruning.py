@@ -79,12 +79,20 @@ def _candidate_alive(
     )
 
 
-def neighborhood_prune(kg: KnowledgeGraph, space: CandidateSpace) -> int:
+def neighborhood_prune(
+    kg: KnowledgeGraph, space: CandidateSpace, tracer=None
+) -> int:
     """Prune vertex candidates in place; returns the number removed.
 
     Safe: only candidates that provably cannot appear in any match are
-    dropped, so top-k results are unchanged.
+    dropped, so top-k results are unchanged.  When a recording ``tracer``
+    is supplied, per-vertex removal counts go to the
+    ``pruning.removed_per_vertex`` histogram.
     """
+    if tracer is None:
+        from repro import obs
+
+        tracer = obs.get_tracer()
     removed = 0
     for vertex in space.vertices.values():
         if vertex.wildcard or not vertex.candidates:
@@ -98,6 +106,9 @@ def neighborhood_prune(kg: KnowledgeGraph, space: CandidateSpace) -> int:
             for candidate in vertex.candidates
             if _candidate_alive(kg, candidate, required_per_edge)
         ]
-        removed += len(vertex.candidates) - len(kept)
+        removed_here = len(vertex.candidates) - len(kept)
+        if removed_here:
+            tracer.metrics.observe("pruning.removed_per_vertex", removed_here)
+        removed += removed_here
         vertex.candidates = kept
     return removed

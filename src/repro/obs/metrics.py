@@ -1,0 +1,74 @@
+"""Counter and histogram registries for the observability layer.
+
+Counters are monotonically increasing numbers ("seeds_explored"); a
+histogram keeps every observed value ("bfs_frontier" sizes) and summarizes
+them on snapshot.  Names are dotted strings namespaced by subsystem —
+``top_k.seeds_explored``, ``mining.paths_enumerated`` — listed in
+docs/observability.md.
+"""
+
+from __future__ import annotations
+
+
+class Metrics:
+    """A recording registry of counters and histograms."""
+
+    __slots__ = ("counters", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.histograms: dict[str, list[float]] = {}
+
+    def incr(self, name: str, amount: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        self.histograms.setdefault(name, []).append(value)
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: raw counters, summarized histograms."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {
+                name: _summarize(values)
+                for name, values in sorted(self.histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.histograms.clear()
+
+
+class NoopMetrics:
+    """Records nothing; every query answers empty."""
+
+    __slots__ = ()
+
+    def incr(self, name: str, amount: float = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def counter(self, name: str) -> float:
+        return 0
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "histograms": {}}
+
+    def reset(self) -> None:
+        pass
+
+
+def _summarize(values: list[float]) -> dict:
+    return {
+        "count": len(values),
+        "min": min(values),
+        "max": max(values),
+        "mean": sum(values) / len(values),
+        "total": sum(values),
+    }

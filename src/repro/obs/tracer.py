@@ -1,0 +1,254 @@
+"""Span trees and the recording / no-op tracer pair.
+
+A :class:`Span` is one timed region: name, start/end on an injected
+monotonic clock, free-form attributes, child spans.  Spans nest by
+with-block structure::
+
+    with tracer.span("evaluation") as span:
+        with tracer.span("top_k.search", vertices=3):
+            ...
+        span.set(matches=5)
+
+The :class:`NoopTracer` keeps the same surface but stores nothing; its
+spans still measure their own duration (two clock reads) because the
+pipeline's coarse stage timings — ``Answer.understanding_time`` /
+``evaluation_time`` — are read off the span even when tracing is off.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import Metrics, NoopMetrics
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed region of work with attributes and child spans."""
+
+    name: str
+    start: float
+    end: float | None = None
+    attributes: dict[str, object] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Wall seconds (0.0 while the span is still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def set(self, **attributes: object) -> None:
+        self.attributes.update(attributes)
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (or self) with ``name``, depth-first."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration_s": self.duration,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _SpanContext:
+    """Context manager opening one recorded span on enter."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict):
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        span = Span(self._name, tracer.clock(), attributes=self._attributes)
+        if tracer._stack:
+            tracer._stack[-1].children.append(span)
+        else:
+            tracer.roots.append(span)
+        tracer._stack.append(span)
+        self._span = span
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.end = self._tracer.clock()
+        # Spans are well-nested by construction (with-blocks); the top of
+        # the stack is this span even when the body raised.
+        self._tracer._stack.pop()
+        return False
+
+
+class Tracer:
+    """Records a forest of spans plus a metrics registry.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning monotonic seconds.  Injected so
+        tests can drive deterministic timings; defaults to
+        :func:`time.perf_counter`.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter):
+        self.clock = clock
+        self.metrics = Metrics()
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attributes: object) -> _SpanContext:
+        return _SpanContext(self, name, attributes)
+
+    def reset(self) -> None:
+        self.roots.clear()
+        self._stack.clear()
+        self.metrics.reset()
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """The full trace: span trees plus the metrics snapshot."""
+        return {
+            "spans": [root.to_dict() for root in self.roots],
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def summary(self) -> dict:
+        """Aggregated per-span-name wall times plus the metrics snapshot.
+
+        The machine-readable form benchmark runs emit: every span name maps
+        to ``{count, total_s, mean_s, max_s}``.
+        """
+        stats: dict[str, dict] = {}
+        for root in self.roots:
+            for span in root.walk():
+                entry = stats.setdefault(
+                    span.name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+                )
+                entry["count"] += 1
+                entry["total_s"] += span.duration
+                entry["max_s"] = max(entry["max_s"], span.duration)
+        for entry in stats.values():
+            entry["mean_s"] = entry["total_s"] / entry["count"]
+        return {
+            "spans": dict(sorted(stats.items())),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def render(self) -> str:
+        """Human-readable span forest, one line per span."""
+        lines: list[str] = []
+        for root in self.roots:
+            _render_span(root, "", True, lines, is_root=True)
+        return "\n".join(lines)
+
+
+def _render_span(
+    span: Span, prefix: str, last: bool, lines: list[str], is_root: bool = False
+) -> None:
+    attrs = " ".join(
+        f"{key}={_render_value(value)}" for key, value in span.attributes.items()
+    )
+    label = f"{span.name} ({span.duration * 1000:.2f} ms)"
+    if attrs:
+        label += f"  {attrs}"
+    if is_root:
+        lines.append(label)
+        child_prefix = ""
+    else:
+        connector = "└─ " if last else "├─ "
+        lines.append(prefix + connector + label)
+        child_prefix = prefix + ("   " if last else "│  ")
+    for position, child in enumerate(span.children):
+        _render_span(child, child_prefix, position == len(span.children) - 1, lines)
+
+
+def _render_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, str):
+        return repr(value)
+    return str(value)
+
+
+class _NoopSpan:
+    """Measures its own duration, records nothing else."""
+
+    __slots__ = ("_clock", "start", "end")
+
+    def __init__(self, clock):
+        self._clock = clock
+        self.start = 0.0
+        self.end: float | None = None
+
+    @property
+    def duration(self) -> float:
+        return 0.0 if self.end is None else self.end - self.start
+
+    def set(self, **attributes: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        self.start = self._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = self._clock()
+        return False
+
+
+class NoopTracer:
+    """The zero-overhead default: same interface, no recording."""
+
+    enabled = False
+    #: Shared empty forest — "the no-op tracer adds no spans" is testable.
+    roots: tuple = ()
+
+    __slots__ = ("clock", "metrics")
+
+    def __init__(self, clock=time.perf_counter):
+        self.clock = clock
+        self.metrics = NoopMetrics()
+
+    def span(self, name: str, **attributes: object) -> _NoopSpan:
+        return _NoopSpan(self.clock)
+
+    def reset(self) -> None:
+        pass
+
+    def to_dict(self) -> dict:
+        return {"spans": [], "metrics": self.metrics.snapshot()}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> dict:
+        return {"spans": {}, "metrics": self.metrics.snapshot()}
+
+    def render(self) -> str:
+        return ""

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.exceptions import MiningError
 from repro.nlp.lemmatizer import lemmatize_adjective, lemmatize_noun, lemmatize_verb
 from repro.paraphrase.dictionary import ParaphraseDictionary, PredicateMapping
@@ -124,6 +125,7 @@ class ParaphraseMiner:
         top_k: int = 3,
         use_tfidf: bool = True,
         length_discount: float = 0.75,
+        tracer=None,
     ):
         if max_path_length < 1:
             raise MiningError("max_path_length must be at least 1")
@@ -140,41 +142,50 @@ class ParaphraseMiner:
         # length discount is our automatic stand-in for that verification —
         # an L-hop path's score is multiplied by discount^(L-1).
         self.length_discount = length_discount
+        self.tracer = tracer
         self.last_report: MiningReport | None = None
 
     # ------------------------------------------------------------------ #
 
     def mine(self, dataset: RelationPhraseDataset) -> ParaphraseDictionary:
         """Run Algorithm 1 and return the paraphrase dictionary."""
-        per_pair_sets, located, total = self._collect_path_sets(dataset)
-        # Union of paths per phrase, for the idf denominator.
-        phrase_paths: dict[str, set[Path]] = {
-            phrase: set().union(*path_sets) if path_sets else set()
-            for phrase, path_sets in per_pair_sets.items()
-        }
-        dictionary = ParaphraseDictionary()
-        candidates = 0
-        for phrase, path_sets in per_pair_sets.items():
-            scored: list[tuple[Path, float]] = []
-            for path in phrase_paths[phrase]:
-                tf = tf_value(path, path_sets)
-                score = float(tf)
-                if self.use_tfidf:
-                    score = tf * smoothed_idf_value(path, phrase_paths)
-                score *= self.length_discount ** (len(path) - 1)
-                if score > 0:
-                    scored.append((path, score))
-            candidates += len(scored)
-            scored.sort(key=lambda item: (-item[1], len(item[0]), item[0]))
-            top = scored[: self.top_k]
-            mappings = self._normalize(top)
-            dictionary.add(normalize_phrase(phrase), mappings)
-        self.last_report = MiningReport(
-            phrases=len(per_pair_sets),
-            pairs_total=total,
-            pairs_located=located,
-            candidate_paths=candidates,
-        )
+        tracer = self.tracer if self.tracer is not None else obs.get_tracer()
+        with tracer.span("mining.mine", phrases=len(dataset)) as span:
+            per_pair_sets, located, total = self._collect_path_sets(dataset, tracer)
+            # Union of paths per phrase, for the idf denominator.
+            phrase_paths: dict[str, set[Path]] = {
+                phrase: set().union(*path_sets) if path_sets else set()
+                for phrase, path_sets in per_pair_sets.items()
+            }
+            dictionary = ParaphraseDictionary()
+            candidates = 0
+            with tracer.span("mining.score_paths"):
+                for phrase, path_sets in per_pair_sets.items():
+                    scored: list[tuple[Path, float]] = []
+                    for path in phrase_paths[phrase]:
+                        tf = tf_value(path, path_sets)
+                        score = float(tf)
+                        if self.use_tfidf:
+                            score = tf * smoothed_idf_value(path, phrase_paths)
+                        score *= self.length_discount ** (len(path) - 1)
+                        if score > 0:
+                            scored.append((path, score))
+                    candidates += len(scored)
+                    scored.sort(key=lambda item: (-item[1], len(item[0]), item[0]))
+                    top = scored[: self.top_k]
+                    mappings = self._normalize(top)
+                    dictionary.add(normalize_phrase(phrase), mappings)
+            self.last_report = MiningReport(
+                phrases=len(per_pair_sets),
+                pairs_total=total,
+                pairs_located=located,
+                candidate_paths=candidates,
+            )
+            span.set(
+                pairs_total=total,
+                pairs_located=located,
+                candidate_paths=candidates,
+            )
         return dictionary
 
     def remine_for_predicates(
@@ -219,28 +230,30 @@ class ParaphraseMiner:
 
     # ------------------------------------------------------------------ #
 
-    def _collect_path_sets(self, dataset: RelationPhraseDataset):
+    def _collect_path_sets(self, dataset: RelationPhraseDataset, tracer=obs.NOOP):
         per_pair_sets: dict[str, list[set[Path]]] = {}
         located = 0
         total = 0
-        for phrase, pairs in dataset.support.items():
-            path_sets: list[set[Path]] = []
-            for left, right in pairs:
-                total += 1
-                left_ids = self._resolve_endpoint(left)
-                right_ids = self._resolve_endpoint(right)
-                if not left_ids or not right_ids:
-                    continue  # pair does not occur in G (the 33 % in Patty)
-                located += 1
-                paths: set[Path] = set()
-                for left_id in left_ids:
-                    for right_id in right_ids:
-                        paths |= find_simple_paths(
-                            self.kg, left_id, right_id, self.max_path_length
-                        )
-                if paths:
-                    path_sets.append(paths)
-            per_pair_sets[phrase] = path_sets
+        with tracer.span("mining.collect_paths"):
+            for phrase, pairs in dataset.support.items():
+                path_sets: list[set[Path]] = []
+                for left, right in pairs:
+                    total += 1
+                    left_ids = self._resolve_endpoint(left)
+                    right_ids = self._resolve_endpoint(right)
+                    if not left_ids or not right_ids:
+                        continue  # pair does not occur in G (the 33 % in Patty)
+                    located += 1
+                    paths: set[Path] = set()
+                    for left_id in left_ids:
+                        for right_id in right_ids:
+                            paths |= find_simple_paths(
+                                self.kg, left_id, right_id, self.max_path_length,
+                                tracer=tracer,
+                            )
+                    if paths:
+                        path_sets.append(paths)
+                per_pair_sets[phrase] = path_sets
         return per_pair_sets, located, total
 
     def _resolve_endpoint(self, term) -> list[int]:

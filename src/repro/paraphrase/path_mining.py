@@ -14,23 +14,26 @@ directionally at query time.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.rdf.graph import KnowledgeGraph, encode_step, reverse_path
 
 Path = tuple[int, ...]
 
 
 def _expand_tree(
-    kg: KnowledgeGraph, start: int, depth: int
+    kg: KnowledgeGraph, start: int, depth: int, tracer=obs.NOOP
 ) -> dict[int, list[tuple[Path, frozenset[int]]]]:
     """All simple walks of length ≤ depth from ``start``.
 
     Returns endpoint → list of (signed path, set of visited nodes including
-    both endpoints).  BFS by level; simplicity enforced per walk.
+    both endpoints).  BFS by level; simplicity enforced per walk.  Frontier
+    sizes per level go to the ``mining.bfs_frontier`` histogram.
     """
     reached: dict[int, list[tuple[Path, frozenset[int]]]] = {
         start: [((), frozenset((start,)))]
     }
     frontier: list[tuple[int, Path, frozenset[int]]] = [(start, (), frozenset((start,)))]
+    observe = tracer.metrics.observe
     for _ in range(depth):
         next_frontier: list[tuple[int, Path, frozenset[int]]] = []
         for node, path, visited in frontier:
@@ -42,11 +45,12 @@ def _expand_tree(
                 reached.setdefault(edge.node, []).append((new_path, new_visited))
                 next_frontier.append((edge.node, new_path, new_visited))
         frontier = next_frontier
+        observe("mining.bfs_frontier", len(frontier))
     return reached
 
 
 def find_simple_paths(
-    kg: KnowledgeGraph, source: int, target: int, max_length: int
+    kg: KnowledgeGraph, source: int, target: int, max_length: int, tracer=None
 ) -> set[Path]:
     """All simple predicate paths from ``source`` to ``target``, length ≤ θ.
 
@@ -59,19 +63,30 @@ def find_simple_paths(
     never pass *through* literals, but a support pair like
     (Michael_Jordan, "1.98") mines the ⟨height⟩ predicate.
     """
+    if tracer is None:
+        tracer = obs.get_tracer()
+    found = _find_simple_paths(kg, source, target, max_length, tracer)
+    tracer.metrics.incr("mining.path_queries")
+    tracer.metrics.incr("mining.paths_enumerated", len(found))
+    return found
+
+
+def _find_simple_paths(
+    kg: KnowledgeGraph, source: int, target: int, max_length: int, tracer=obs.NOOP
+) -> set[Path]:
     if max_length < 1:
         return set()
     if source == target:
         return set()
     if kg.store.is_literal_id(target):
-        return _paths_to_literal(kg, source, target, max_length)
+        return _paths_to_literal(kg, source, target, max_length, tracer)
     if kg.store.is_literal_id(source):
-        reversed_paths = _paths_to_literal(kg, target, source, max_length)
+        reversed_paths = _paths_to_literal(kg, target, source, max_length, tracer)
         return {reverse_path(path) for path in reversed_paths}
     forward_depth = (max_length + 1) // 2
     backward_depth = max_length // 2
-    forward = _expand_tree(kg, source, forward_depth)
-    backward = _expand_tree(kg, target, backward_depth)
+    forward = _expand_tree(kg, source, forward_depth, tracer)
+    backward = _expand_tree(kg, target, backward_depth, tracer)
 
     found: set[Path] = set()
     for meeting, forward_walks in forward.items():
@@ -91,7 +106,7 @@ def find_simple_paths(
 
 
 def _paths_to_literal(
-    kg: KnowledgeGraph, source: int, literal: int, max_length: int
+    kg: KnowledgeGraph, source: int, literal: int, max_length: int, tracer=obs.NOOP
 ) -> set[Path]:
     """Simple paths ending in the final hop onto a literal object."""
     from repro.rdf.graph import forward_step
@@ -105,7 +120,7 @@ def _paths_to_literal(
         if holder == source and max_length >= 1:
             found.add((final,))
         if max_length >= 2:
-            for prefix in find_simple_paths(kg, source, holder, max_length - 1):
+            for prefix in _find_simple_paths(kg, source, holder, max_length - 1, tracer):
                 found.add(prefix + (final,))
     return found
 

@@ -126,6 +126,53 @@ class TestQuestionShapes:
         assert result.failure == "aggregation"
 
 
+class TestTargetVertices:
+    """Regression: every non-wh branch must yield a single target."""
+
+    @staticmethod
+    def _vertex_node(word, index, pos, deprel):
+        from repro.nlp.dependency import DependencyNode
+        from repro.nlp.tokenizer import Token
+
+        return DependencyNode(Token(word, index, pos=pos), deprel=deprel)
+
+    def test_two_direct_objects_yield_one_target(self):
+        # "Compare the population of Berlin and the population of Paris" —
+        # an imperative with two dobj-attached nominals.  The dobj branch
+        # used to return both while the common-noun fallback truncated to
+        # one; both now return the single earliest candidate.
+        from repro.core.pipeline import target_vertices
+        from repro.core.semantic_graph import SemanticQueryGraph
+
+        graph = SemanticQueryGraph()
+        second = self._vertex_node("capital", 6, "NN", "dobj")
+        first = self._vertex_node("population", 2, "NN", "dobj")
+        graph.add_vertex(second, "capital", is_wh=False)
+        graph.add_vertex(first, "population", is_wh=False)
+        targets = target_vertices(graph)
+        assert len(targets) == 1
+        assert targets[0].node.index == 2
+
+    def test_multi_wh_still_returns_all(self):
+        from repro.core.pipeline import target_vertices
+        from repro.core.semantic_graph import SemanticQueryGraph
+
+        graph = SemanticQueryGraph()
+        who = self._vertex_node("who", 0, "WP", "nsubj")
+        what = self._vertex_node("what", 4, "WP", "dobj")
+        graph.add_vertex(what, "what", is_wh=True)
+        graph.add_vertex(who, "who", is_wh=True)
+        targets = target_vertices(graph)
+        assert [v.node.index for v in targets] == [0, 4]
+
+    def test_imperative_question_end_to_end(self, system):
+        # An imperative with a conjoined object phrase must still answer
+        # from exactly one projected target.
+        result = system.answer("Give me all movies directed by Francis Ford Coppola.")
+        assert result.failure is None
+        assert len(result.answers) == 3
+
+
 class TestFailureClassification:
     def test_entity_linking_failure(self, system):
         result = system.answer("In which UK city are the headquarters of the MI6?")

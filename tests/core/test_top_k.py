@@ -4,6 +4,7 @@ import copy
 
 import pytest
 
+from repro import obs
 from repro.core.top_k import TopKSearch
 from repro.match import (
     CandidateSpace,
@@ -119,6 +120,86 @@ class TestTopK:
         result = TopKSearch(chain_kg).search(space)
         assert result.matches == []
         assert result.terminated_by == "empty"
+
+    def test_exhausted_with_matches(self, chain_kg):
+        # k exceeds the number of possible matches: the search drains every
+        # seed combination and reports "exhausted", not "empty".
+        space = fan_space(chain_kg, [0.9, 0.8])
+        result = TopKSearch(chain_kg, k=10).search(space)
+        assert len(result.matches) == 2
+        assert result.terminated_by == "exhausted"
+
+    def test_exhausted_with_zero_matches(self, chain_kg):
+        # Candidate lists are non-empty but no binding satisfies the edge:
+        # with pruning off the search runs dry and must say "exhausted"
+        # (it explored seeds), not "empty" (it never had any).
+        space = fan_space(chain_kg, [])
+        orphan = chain_kg.store.dictionary.encode(IRI("ex:orphan"))
+        space.vertices[1].candidates.append(VertexCandidate(orphan, 0.9))
+        result = TopKSearch(chain_kg, k=3, use_pruning=False).search(space)
+        assert result.matches == []
+        assert result.seeds_explored >= 1
+        assert result.terminated_by == "exhausted"
+
+    def test_pruned_empty_distinct_from_empty(self, chain_kg):
+        # The only candidate for vertex 1 is unreachable; pruning removes it
+        # and empties the list.  That is "pruned_empty" — the space was
+        # satisfiable-looking until pruning, unlike a born-empty list.
+        space = fan_space(chain_kg, [])
+        orphan = chain_kg.store.dictionary.encode(IRI("ex:orphan"))
+        space.vertices[1].candidates.append(VertexCandidate(orphan, 0.9))
+        result = TopKSearch(chain_kg, k=3, use_pruning=True).search(space)
+        assert result.matches == []
+        assert result.terminated_by == "pruned_empty"
+
+    def test_ties_at_kth_terminate_exhausted_or_threshold(self, chain_kg):
+        # Footnote 4 runs: whichever way the tie resolves, the reason must
+        # be a real termination mode, never the legacy catch-all "empty".
+        confidences = [0.9, 0.8, 0.8, 0.8, 0.1]
+        space = fan_space(chain_kg, confidences)
+        result = TopKSearch(chain_kg, k=2).search(space)
+        assert result.terminated_by in {"threshold", "exhausted"}
+
+    def test_ta_trajectory_recorded_under_tracer(self):
+        # Both endpoint lists need several candidates, or list exhaustion
+        # fires before the first TA round has a chance to be logged.
+        store = TripleStore()
+        for i in range(6):
+            store.add(Triple(IRI(f"ex:hub{i}"), IRI("ex:p"), IRI(f"ex:leaf{i}")))
+        kg = KnowledgeGraph(store)
+        space = CandidateSpace()
+        confidences = [1.0 - i * 0.15 for i in range(6)]
+        space.add_vertex(QueryVertex(0, candidates=[
+            VertexCandidate(kg.id_of(IRI(f"ex:hub{i}")), conf)
+            for i, conf in enumerate(confidences)
+        ]))
+        space.add_vertex(QueryVertex(1, candidates=[
+            VertexCandidate(kg.id_of(IRI(f"ex:leaf{i}")), conf)
+            for i, conf in enumerate(confidences)
+        ]))
+        space.add_edge(QueryEdge(0, 1, candidates=[
+            EdgeCandidate((forward_step(kg.id_of(IRI("ex:p"))),), 1.0)
+        ]))
+        tracer = obs.Tracer()
+        result = TopKSearch(kg, k=2, use_ta=True).search(space, tracer=tracer)
+        assert result.ta_trajectory, "recording tracer should capture θ/upbound"
+        for point in result.ta_trajectory:
+            assert set(point) == {"depth", "threshold", "upbound"}
+        span = tracer.roots[0]
+        assert span.name == "top_k.search"
+        assert span.attributes["terminated_by"] == result.terminated_by
+        assert span.attributes["seeds_explored"] == result.seeds_explored
+        counters = tracer.metrics.counters
+        assert counters["top_k.searches"] == 1
+        assert counters["top_k.seeds_explored"] == result.seeds_explored
+        assert counters[f"top_k.terminated.{result.terminated_by}"] == 1
+        assert counters["matcher.expansions"] >= 1
+
+    def test_no_trajectory_without_tracer(self, chain_kg):
+        result = TopKSearch(chain_kg, k=2, use_ta=True).search(
+            fan_space(chain_kg, [0.9, 0.8, 0.7])
+        )
+        assert result.ta_trajectory == []
 
     def test_all_wildcard_query(self, chain_kg):
         space = CandidateSpace()

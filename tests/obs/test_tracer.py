@@ -1,0 +1,190 @@
+"""Unit tests for the observability layer: spans, metrics, no-op defaults."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import Metrics, NoopTracer, Tracer
+
+
+class FakeClock:
+    """Deterministic monotonic clock: advances by ``step`` per read."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestTracer:
+    def test_spans_nest_by_with_block(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner_a"):
+                pass
+            with tracer.span("inner_b"):
+                pass
+        assert [root.name for root in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [child.name for child in outer.children] == ["inner_a", "inner_b"]
+        assert outer.children[0].children == []
+
+    def test_durations_from_injected_clock(self):
+        tracer = Tracer(clock=FakeClock(step=0.5))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner = tracer.roots[0].children[0]
+        # Clock reads: outer start 0.0, inner start 0.5, inner end 1.0,
+        # outer end 1.5.
+        assert inner.start == 0.5
+        assert inner.duration == pytest.approx(0.5)
+        assert tracer.roots[0].duration == pytest.approx(1.5)
+
+    def test_attributes_at_open_and_via_set(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("work", size=3) as span:
+            span.set(matches=7)
+        assert tracer.roots[0].attributes == {"size": 3, "matches": 7}
+
+    def test_span_closed_when_body_raises(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                raise RuntimeError("boom")
+        assert tracer.roots[0].end is not None
+        # The stack unwound: a new span is a root again, not a child.
+        with tracer.span("next"):
+            pass
+        assert [root.name for root in tracer.roots] == ["outer", "next"]
+
+    def test_find_and_walk(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        root = tracer.roots[0]
+        assert root.find("c").name == "c"
+        assert root.find("missing") is None
+        assert [span.name for span in root.walk()] == ["a", "b", "c"]
+
+    def test_to_dict_and_json(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("stage", label="x"):
+            pass
+        tracer.metrics.incr("widgets", 3)
+        payload = json.loads(tracer.to_json())
+        assert payload["spans"][0]["name"] == "stage"
+        assert payload["spans"][0]["attributes"] == {"label": "x"}
+        assert payload["spans"][0]["duration_s"] == pytest.approx(1.0)
+        assert payload["metrics"]["counters"] == {"widgets": 3}
+
+    def test_summary_aggregates_by_name(self):
+        tracer = Tracer(clock=FakeClock())
+        for _ in range(3):
+            with tracer.span("question"):
+                with tracer.span("understanding"):
+                    pass
+        summary = tracer.summary()
+        assert summary["spans"]["question"]["count"] == 3
+        assert summary["spans"]["understanding"]["count"] == 3
+        assert summary["spans"]["question"]["total_s"] == pytest.approx(9.0)
+        assert summary["spans"]["question"]["mean_s"] == pytest.approx(3.0)
+
+    def test_render_tree_shape(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("answer", question="who?"):
+            with tracer.span("understanding"):
+                pass
+            with tracer.span("evaluation"):
+                pass
+        rendered = tracer.render()
+        lines = rendered.splitlines()
+        assert lines[0].startswith("answer")
+        assert "question='who?'" in lines[0]
+        assert lines[1].startswith("├─ understanding")
+        assert lines[2].startswith("└─ evaluation")
+
+    def test_reset(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("x"):
+            pass
+        tracer.metrics.incr("n")
+        tracer.reset()
+        assert tracer.roots == []
+        assert tracer.metrics.counters == {}
+
+
+class TestMetrics:
+    def test_counters_accumulate(self):
+        metrics = Metrics()
+        metrics.incr("seeds")
+        metrics.incr("seeds", 4)
+        assert metrics.counter("seeds") == 5
+        assert metrics.counter("missing") == 0
+
+    def test_histogram_snapshot(self):
+        metrics = Metrics()
+        for value in (1, 2, 3):
+            metrics.observe("frontier", value)
+        snap = metrics.snapshot()["histograms"]["frontier"]
+        assert snap == {"count": 3, "min": 1, "max": 3, "mean": 2.0, "total": 6}
+
+
+class TestNoop:
+    def test_noop_records_no_spans_or_metrics(self):
+        tracer = NoopTracer(clock=FakeClock())
+        with tracer.span("anything", attr=1) as span:
+            span.set(more=2)
+            tracer.metrics.incr("counter", 5)
+            tracer.metrics.observe("hist", 1.0)
+        assert tracer.roots == ()
+        assert tracer.metrics.snapshot() == {"counters": {}, "histograms": {}}
+        assert tracer.summary() == {
+            "spans": {},
+            "metrics": {"counters": {}, "histograms": {}},
+        }
+        assert tracer.render() == ""
+
+    def test_noop_span_still_measures_duration(self):
+        # The pipeline's coarse stage timings read span.duration even with
+        # tracing off, so the no-op span must still clock itself.
+        tracer = NoopTracer(clock=FakeClock(step=2.0))
+        with tracer.span("stage") as span:
+            pass
+        assert span.duration == pytest.approx(2.0)
+
+
+class TestGlobalDefault:
+    def test_default_is_noop(self):
+        assert obs.get_tracer() is obs.NOOP
+        assert obs.get_tracer().enabled is False
+
+    def test_set_and_restore(self):
+        tracer = Tracer()
+        previous = obs.set_tracer(tracer)
+        try:
+            assert obs.get_tracer() is tracer
+        finally:
+            obs.set_tracer(previous)
+        assert obs.get_tracer() is previous
+
+    def test_use_tracer_scopes_installation(self):
+        tracer = Tracer()
+        with obs.use_tracer(tracer) as active:
+            assert active is tracer
+            assert obs.get_tracer() is tracer
+        assert obs.get_tracer() is obs.NOOP
+
+    def test_set_tracer_none_reinstalls_noop(self):
+        previous = obs.set_tracer(None)
+        try:
+            assert obs.get_tracer() is obs.NOOP
+        finally:
+            obs.set_tracer(previous)

@@ -37,6 +37,44 @@ class TestAsk:
         assert captured.out.strip() == "res:Raheem_Sterling"
 
 
+class TestTrace:
+    def test_trace_prints_span_tree(self, capsys):
+        rc = main(["--trace", "ask", "Who is the mayor of Berlin?"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "res:Klaus_Wowereit" in captured.out
+        assert "-- trace:" in captured.err
+        for stage in ("answer", "understanding", "parse", "top_k.search"):
+            assert stage in captured.err
+
+    def test_trace_json_to_stdout(self, capsys):
+        import json
+
+        rc = main(["--trace-json", "-", "ask", "Who is the mayor of Berlin?"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        payload = json.loads(captured.out.split("\n", 1)[1])
+        assert payload["spans"][0]["name"] == "answer"
+        assert payload["metrics"]["counters"]["top_k.seeds_explored"] >= 1
+
+    def test_trace_json_to_file(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        rc = main(["--trace-json", str(out), "ask", "Who is the mayor of Berlin?"])
+        capsys.readouterr()
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["spans"][0]["name"] == "answer"
+
+    def test_untraced_run_installs_no_tracer(self, capsys):
+        from repro import obs
+
+        main(["ask", "Who is the mayor of Berlin?"])
+        capsys.readouterr()
+        assert obs.get_tracer() is obs.NOOP
+
+
 class TestSparql:
     def test_select(self, capsys):
         rc = main(["sparql", "SELECT ?x WHERE { <res:Berlin> <ont:mayor> ?x }"])
