@@ -1,0 +1,53 @@
+"""Hot-path kernel microbenchmarks: adjacency expansion and path mining.
+
+The adjacency kernel (``repro.rdf.kernel``) is the substrate of both hot
+loops — the offline bidirectional path BFS and the online match-time path
+walking.  These benchmarks time the kernel layers directly on the Table 7
+synthetic scenario; ``scripts/perf_baseline.py`` emits the same scenarios
+as a machine-readable baseline (``BENCH_kernel.json``) that CI's
+perf-smoke job gates on.
+"""
+
+from repro.datasets import SyntheticConfig, build_phrase_dataset, build_synthetic_kg
+from repro.datasets.patty_sim import scale_phrase_dataset
+from repro.datasets.synthetic import entity_pool
+from repro.paraphrase import ParaphraseMiner
+from repro.rdf.kernel import AdjacencyKernel
+
+
+def _scenario():
+    kg = build_synthetic_kg(
+        SyntheticConfig(entities=1000, triples_per_entity=4, predicates=30)
+    )
+    dataset = scale_phrase_dataset(build_phrase_dataset(), 100, 5, entity_pool(kg))
+    return kg, dataset
+
+
+def test_kernel_build(benchmark):
+    kg, _ = _scenario()
+    kernel = benchmark(lambda: AdjacencyKernel(kg.store))
+    stats = kernel.statistics()
+    assert stats["edge_slots_full"] >= stats["edge_slots_entity"] > 0
+
+
+def test_kernel_adjacency_expansion(benchmark):
+    kg, _ = _scenario()
+    kernel = kg.kernel
+    nodes = sorted(kg.store.node_ids())
+
+    def expand():
+        return sum(len(kernel.adjacency(node)[0]) for node in nodes)
+
+    slots = benchmark(expand)
+    assert slots == kernel.statistics()["edge_slots_full"]
+
+
+def test_kernel_path_mining(benchmark):
+    kg, dataset = _scenario()
+
+    def mine():
+        kg.refresh()  # cold caches: time a genuine offline run
+        return ParaphraseMiner(kg, max_path_length=4, top_k=3).mine(dataset)
+
+    dictionary = benchmark.pedantic(mine, rounds=2, iterations=1)
+    assert len(list(dictionary.phrases())) > 0

@@ -1,0 +1,231 @@
+#!/usr/bin/env python
+"""Perf baseline for the hot-path graph kernel (BENCH_kernel.json).
+
+Times the four layers the adjacency kernel accelerates and writes a
+machine-readable baseline:
+
+* ``kernel_build``        — full index construction from the triple store;
+* ``adjacency_expansion`` — streaming every (step, neighbor) slot;
+* ``walk_path``           — signed-path walking (the match-time check);
+* ``path_mining``         — offline dictionary mining, θ=4 (Algorithm 1);
+* ``end_to_end_qa``       — QALD questions through the full pipeline.
+
+``--quick`` runs one repeat per benchmark instead of three — same
+scenarios, so quick numbers stay comparable with a committed full
+baseline.  ``--check FILE`` compares against a previous baseline and
+exits non-zero when any shared benchmark regressed by more than
+``--max-regression`` (a deliberately loose multiple: CI machines differ,
+only order-of-magnitude regressions should gate).
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_baseline.py --output BENCH_kernel.json
+    PYTHONPATH=src python scripts/perf_baseline.py --quick \
+        --check BENCH_kernel.json --max-regression 3.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+SCHEMA = "bench_kernel/v1"
+
+
+def _timed(fn, repeats: int) -> tuple[float, int]:
+    """Best wall-clock of ``repeats`` runs; fn returns its op count.
+
+    One untimed warmup run precedes the timed ones so caches (kernel LRU,
+    interpreter) are in the same warm state at any repeat count — quick
+    (1 repeat) and full (3 repeats) baselines stay comparable.
+    """
+    fn()
+    best = None
+    ops = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        ops = fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, ops
+
+
+def build_scenario():
+    from repro.datasets import (
+        SyntheticConfig,
+        build_phrase_dataset,
+        build_synthetic_kg,
+    )
+    from repro.datasets.patty_sim import scale_phrase_dataset
+    from repro.datasets.synthetic import entity_pool
+
+    kg = build_synthetic_kg(
+        SyntheticConfig(entities=1000, triples_per_entity=4, predicates=30)
+    )
+    dataset = scale_phrase_dataset(build_phrase_dataset(), 100, 5, entity_pool(kg))
+    return kg, dataset
+
+
+def bench_kernel_build(kg, repeats):
+    from repro.rdf.kernel import AdjacencyKernel
+
+    def run():
+        kernel = AdjacencyKernel(kg.store)
+        return kernel.statistics()["edge_slots_full"]
+
+    return _timed(run, repeats)
+
+
+def bench_adjacency_expansion(kg, repeats):
+    kernel = kg.kernel
+    nodes = sorted(kg.store.node_ids())
+
+    def run():
+        slots = 0
+        adjacency = kernel.adjacency
+        for node in nodes:
+            steps, _neighbors = adjacency(node)
+            slots += len(steps)
+        return slots
+
+    return _timed(run, repeats)
+
+
+def bench_walk_path(kg, repeats):
+    kernel = kg.kernel
+    starts = sorted(kg.entity_ids())[:200]
+    walks = []
+    for start in starts:
+        steps, _ = kernel.entity_adjacency(start)
+        if len(steps) >= 2:
+            walks.append((start, (steps[0], -steps[1])))
+            walks.append((start, (steps[-1],)))
+
+    def run():
+        walk = kernel.walk_path
+        for start, path in walks:
+            walk(start, path)
+        return len(walks)
+
+    return _timed(run, repeats)
+
+
+def bench_path_mining(kg, dataset, repeats, jobs):
+    from repro.paraphrase import ParaphraseMiner
+
+    def run():
+        kg.refresh()  # cold kernel + caches: measure a real offline run
+        miner = ParaphraseMiner(kg, max_path_length=4, top_k=3, jobs=jobs)
+        miner.mine(dataset)
+        return dataset.pair_count()
+
+    return _timed(run, repeats)
+
+
+def bench_end_to_end(repeats):
+    from repro.core import GAnswer
+    from repro.datasets import qald_questions
+    from repro.experiments.common import default_setup
+
+    setup = default_setup(0)
+    system = GAnswer(setup.kg, setup.dictionary)
+    questions = [q.text for q in qald_questions()[:20]]
+
+    def run():
+        for question in questions:
+            system.answer(question)
+        return len(questions)
+
+    return _timed(run, repeats)
+
+
+def run_benchmarks(quick: bool, jobs: int) -> dict:
+    repeats = 1 if quick else 3
+    kg, dataset = build_scenario()
+    results = {}
+
+    def record(name, timing):
+        seconds, ops = timing
+        results[name] = {
+            "ops": ops,
+            "seconds": round(seconds, 6),
+            "ops_per_sec": round(ops / seconds, 2) if seconds > 0 else None,
+        }
+        print(f"  {name:22s} {ops:>8d} ops  {seconds:8.4f}s  "
+              f"{results[name]['ops_per_sec']:>12} ops/s")
+
+    print(f"perf baseline ({'quick' if quick else 'full'}, jobs={jobs}):")
+    record("kernel_build", bench_kernel_build(kg, repeats))
+    record("adjacency_expansion", bench_adjacency_expansion(kg, repeats))
+    record("walk_path", bench_walk_path(kg, repeats))
+    record("path_mining", bench_path_mining(kg, dataset, repeats, jobs))
+    record("end_to_end_qa", bench_end_to_end(repeats))
+
+    return {
+        "schema": SCHEMA,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": quick,
+        "jobs": jobs,
+        "kernel": kg.kernel.statistics(),
+        "benchmarks": results,
+    }
+
+
+def check_regression(current: dict, baseline_path: Path, max_regression: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("schema") != SCHEMA:
+        print(f"error: {baseline_path} is not a {SCHEMA} baseline", file=sys.stderr)
+        return 2
+    failures = 0
+    print(f"\nregression check against {baseline_path} (limit {max_regression}x):")
+    for name, entry in current["benchmarks"].items():
+        reference = baseline["benchmarks"].get(name)
+        if reference is None or not reference.get("ops_per_sec"):
+            print(f"  {name:22s} (no baseline — skipped)")
+            continue
+        ratio = reference["ops_per_sec"] / entry["ops_per_sec"]
+        verdict = "ok" if ratio <= max_regression else "REGRESSED"
+        print(f"  {name:22s} {entry['ops_per_sec']:>12} vs "
+              f"{reference['ops_per_sec']:>12} baseline  ({ratio:4.2f}x slower)  {verdict}")
+        if ratio > max_regression:
+            failures += 1
+    if failures:
+        print(f"error: {failures} benchmark(s) regressed beyond "
+              f"{max_regression}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="one repeat per benchmark (CI smoke mode)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="mining worker count (default 1; 0 = auto)")
+    parser.add_argument("--output", metavar="FILE", default=None,
+                        help="write the baseline JSON here")
+    parser.add_argument("--check", metavar="FILE", default=None,
+                        help="compare against a previous baseline JSON")
+    parser.add_argument("--max-regression", type=float, default=3.0,
+                        help="fail when a benchmark is this many times "
+                        "slower than the baseline (default 3.0)")
+    args = parser.parse_args(argv)
+
+    payload = run_benchmarks(args.quick, args.jobs)
+    if args.output:
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nbaseline written to {args.output}")
+    if args.check:
+        return check_regression(payload, Path(args.check), args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

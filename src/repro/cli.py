@@ -22,7 +22,7 @@ from repro.experiments.common import default_setup
 
 
 def _build_system(args) -> GAnswer:
-    setup = default_setup(args.distractors)
+    setup = default_setup(args.distractors, jobs=args.jobs)
     return GAnswer(
         setup.kg,
         setup.dictionary,
@@ -53,7 +53,7 @@ def cmd_ask(args) -> int:
     if args.explain:
         from repro.core.explain import explain
 
-        setup = default_setup(args.distractors)
+        setup = default_setup(args.distractors, jobs=args.jobs)
         print(explain(setup.kg, result))
         return 0 if result.processed else 1
     _print_answer(result)
@@ -80,7 +80,7 @@ def cmd_shell(args) -> int:
 def cmd_sparql(args) -> int:
     from repro.sparql import evaluate, parse_query
 
-    setup = default_setup(args.distractors)
+    setup = default_setup(args.distractors, jobs=args.jobs)
     result = evaluate(setup.kg.store, parse_query(args.query))
     if isinstance(result, bool):
         print("yes" if result else "no")
@@ -121,7 +121,7 @@ def cmd_eval(args) -> int:
 def cmd_dictionary(args) -> int:
     from repro.paraphrase.path_mining import describe_path
 
-    setup = default_setup(args.distractors)
+    setup = default_setup(args.distractors, jobs=args.jobs)
     for phrase in sorted(setup.dictionary.phrases()):
         mappings = setup.dictionary.lookup(phrase)
         if not mappings:
@@ -148,6 +148,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--distractors", type=int, default=0,
         help="label clones per entity (DBpedia-scale ambiguity)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for offline dictionary mining "
+        "(1 = serial, 0 = one per CPU; output is identical at any count)",
     )
     parser.add_argument(
         "--trace", action="store_true",

@@ -167,6 +167,7 @@ def table7_offline_time() -> ExperimentResult:
     for name, dataset in scales:
         times = {}
         for theta in (2, 4):
+            synth.refresh()  # cold kernel caches: each cell times a full run
             miner = ParaphraseMiner(synth, max_path_length=theta, top_k=3)
             started = time.perf_counter()
             miner.mine(dataset)

@@ -227,6 +227,7 @@ class SubgraphMatcher:
         """Nodes reachable from every bound neighbour, with the best path
         per connecting edge.  None when some edge admits no node at all."""
         result: dict[int, dict[int, tuple[Path, float]]] | None = None
+        walk_path = self.kg.kernel.walk_path  # LRU-cached, returns a shared frozenset
         for edge_index, edge in connecting:
             bound_node = bindings[edge.other(vertex_id)]
             walk_from_source = edge.target == vertex_id
@@ -243,7 +244,7 @@ class SubgraphMatcher:
                         orientations.append(flipped)
                 for oriented in orientations:
                     walk = oriented if walk_from_source else reverse_path(oriented)
-                    for node in self.kg.walk_path(bound_node, walk):
+                    for node in walk_path(bound_node, walk):
                         if node not in per_node:  # first hit = best confidence
                             per_node[node] = (oriented, candidate.confidence)
             if not per_node:

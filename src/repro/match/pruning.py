@@ -7,6 +7,13 @@ direction.  Candidates failing this test — like u₅ in the paper's Figure 2,
 which has no adjacent predicate mapping "play in" — are dropped before the
 expensive search.
 
+The test runs on the adjacency kernel's signed-step signatures: an edge's
+admissible first steps and a node's incident steps are both small frozen
+sets of signed ints (``pid + 1`` outgoing, ``-(pid + 1)`` incoming — see
+:mod:`repro.rdf.kernel`), so each check is one memoized-set intersection.
+Literal-valued edges are part of the signature, covering Q^S edges that
+end on a literal.
+
 Class candidates are checked against the union of their instances'
 neighbourhoods (any instance with a compatible edge keeps the class alive).
 """
@@ -14,58 +21,38 @@ neighbourhoods (any instance with a compatible edge keeps the class alive).
 from __future__ import annotations
 
 from repro.match.candidates import CandidateSpace, QueryEdge, VertexCandidate
-from repro.rdf.graph import Direction, KnowledgeGraph, step_is_forward, step_predicate
+from repro.rdf.graph import KnowledgeGraph
 
 
-def _required_first_steps(edge: QueryEdge) -> set[tuple[int, Direction]]:
-    """(predicate, direction) pairs that can start the edge's candidate
-    paths when walked outward from either endpoint.
+def _required_first_steps(edge: QueryEdge) -> frozenset[int]:
+    """Signed steps that can start the edge's candidate paths when walked
+    outward from either endpoint.
 
     Definition 3 accepts either edge orientation, which makes this set
     symmetric in the endpoints: outward from one end the path starts with
     its first step, from the other with its reversed last step.
     """
-    required: set[tuple[int, Direction]] = set()
+    required: set[int] = set()
     for candidate in edge.candidates:
         if not candidate.path:
             continue
-        outward_steps = (
-            (candidate.path[0], True),      # orientation as mined
-            (candidate.path[-1], False),    # flipped orientation
-        )
-        for step, as_mined in outward_steps:
-            forward = step_is_forward(step)
-            if not as_mined:
-                forward = not forward  # walking the path from the far end
-            direction = Direction.OUT if forward else Direction.IN
-            required.add((step_predicate(step), direction))
-    return required
+        required.add(candidate.path[0])       # orientation as mined
+        required.add(-candidate.path[-1])     # flipped orientation
+    return frozenset(required)
 
 
 def _node_satisfies(
-    kg: KnowledgeGraph, node_id: int, required: set[tuple[int, Direction]]
+    kg: KnowledgeGraph, node_id: int, required: frozenset[int]
 ) -> bool:
     if not required:
         return False
-    incident = kg.incident_predicates(node_id)
-    # Literal-valued edges are not in incident_predicates' undirected view;
-    # check outgoing structural-free predicates directly.
-    return bool(incident & required) or _literal_edge_satisfies(kg, node_id, required)
-
-
-def _literal_edge_satisfies(
-    kg: KnowledgeGraph, node_id: int, required: set[tuple[int, Direction]]
-) -> bool:
-    for edge in kg.edges(node_id, include_structural=False, include_literals=True):
-        if (edge.predicate, edge.direction) in required:
-            return True
-    return False
+    return not required.isdisjoint(kg.kernel.incident_steps(node_id))
 
 
 def _candidate_alive(
     kg: KnowledgeGraph,
     candidate: VertexCandidate,
-    required_per_edge: list[set[tuple[int, Direction]]],
+    required_per_edge: list[frozenset[int]],
 ) -> bool:
     if candidate.is_class:
         instances = kg.instances_of(candidate.node_id)

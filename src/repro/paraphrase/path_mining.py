@@ -7,45 +7,101 @@ breadth-first frontiers expanded from both endpoints meet in the middle,
 which keeps the explored neighbourhood at radius ⌈θ/2⌉ instead of θ.
 
 Paths are returned as *signed predicate tuples* (see
-:mod:`repro.rdf.graph`): the sign records whether each hop follows or
+:mod:`repro.rdf.kernel`): the sign records whether each hop follows or
 opposes the predicate's direction, so the path can be re-walked
 directionally at query time.
+
+Hot-path layout: the BFS runs on the adjacency kernel's flat
+``(steps, neighbors)`` rows, each walk is a pair of plain tuples (the
+signed path and the node sequence — simplicity is a membership test on
+the shared-prefix node tuple, no per-step ``frozenset`` copies), and both
+the expansion trees and the literal-prefix enumerations are memoized in
+kernel-scoped cache regions, so repeated endpoints across support pairs
+are expanded once per store version.
 """
 
 from __future__ import annotations
 
 from repro import obs
-from repro.rdf.graph import KnowledgeGraph, encode_step, reverse_path
+from repro.rdf.graph import KnowledgeGraph, reverse_path
 
 Path = tuple[int, ...]
+
+#: endpoint → [(signed path, node sequence from start to endpoint)]
+ExpansionTree = dict[int, list[tuple[Path, tuple[int, ...]]]]
 
 
 def _expand_tree(
     kg: KnowledgeGraph, start: int, depth: int, tracer=obs.NOOP
-) -> dict[int, list[tuple[Path, frozenset[int]]]]:
+) -> ExpansionTree:
     """All simple walks of length ≤ depth from ``start``.
 
-    Returns endpoint → list of (signed path, set of visited nodes including
-    both endpoints).  BFS by level; simplicity enforced per walk.  Frontier
-    sizes per level go to the ``mining.bfs_frontier`` histogram.
+    Returns endpoint → list of (signed path, visited node sequence
+    including both endpoints).  BFS by level; simplicity enforced per walk
+    by a membership test on the walk's own node tuple (walks are ≤ ⌈θ/2⌉
+    long, so a tuple scan beats allocating a set per extension).
+
+    Trees are memoized per (start, depth) in a kernel cache region —
+    support-pair endpoints repeat heavily across phrases — so callers must
+    treat the returned structure as immutable.  Each level records its
+    expansion count in ``mining.bfs_expanded`` and its surviving frontier
+    in ``mining.bfs_frontier``; an empty frontier stops the BFS early
+    instead of looping to full depth.
     """
-    reached: dict[int, list[tuple[Path, frozenset[int]]]] = {
-        start: [((), frozenset((start,)))]
-    }
-    frontier: list[tuple[int, Path, frozenset[int]]] = [(start, (), frozenset((start,)))]
+    cache = kg.kernel.cache_region("mining.expand_tree")
+    key = (start, depth)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    entity_adjacency = kg.kernel.entity_adjacency
     observe = tracer.metrics.observe
+    if depth == 1:
+        # θ=2 splits into two depth-1 trees: one row scan, no frontier
+        # machinery.  Every non-self-loop edge is one accepted extension,
+        # so expanded == frontier == the number of walks added.
+        reached_one: ExpansionTree = {start: [((), (start,))]}
+        expanded_one = 0
+        steps, neighbors = entity_adjacency(start)
+        for step, neighbor in zip(steps, neighbors):
+            if neighbor == start:
+                continue
+            expanded_one += 1
+            walk = ((step,), (start, neighbor))
+            walks = reached_one.get(neighbor)
+            if walks is None:
+                reached_one[neighbor] = [walk]
+            else:
+                walks.append(walk)
+        if expanded_one:
+            observe("mining.bfs_expanded", expanded_one)
+            observe("mining.bfs_frontier", expanded_one)
+        cache[key] = reached_one
+        return reached_one
+    reached: ExpansionTree = {start: [((), (start,))]}
+    frontier: list[tuple[int, Path, tuple[int, ...]]] = [(start, (), (start,))]
     for _ in range(depth):
-        next_frontier: list[tuple[int, Path, frozenset[int]]] = []
-        for node, path, visited in frontier:
-            for edge in kg.undirected_neighbors(node):
-                if edge.node in visited:
+        next_frontier: list[tuple[int, Path, tuple[int, ...]]] = []
+        expanded = 0
+        for node, path, nodes in frontier:
+            steps, neighbors = entity_adjacency(node)
+            for step, neighbor in zip(steps, neighbors):
+                if neighbor in nodes:
                     continue
-                new_path = path + (encode_step(edge.predicate, edge.direction),)
-                new_visited = visited | {edge.node}
-                reached.setdefault(edge.node, []).append((new_path, new_visited))
-                next_frontier.append((edge.node, new_path, new_visited))
+                expanded += 1
+                new_path = path + (step,)
+                new_nodes = nodes + (neighbor,)
+                walks = reached.get(neighbor)
+                if walks is None:
+                    reached[neighbor] = [(new_path, new_nodes)]
+                else:
+                    walks.append((new_path, new_nodes))
+                next_frontier.append((neighbor, new_path, new_nodes))
+        if not next_frontier:
+            break
+        observe("mining.bfs_expanded", expanded)
+        observe("mining.bfs_frontier", len(next_frontier))
         frontier = next_frontier
-        observe("mining.bfs_frontier", len(frontier))
+    cache[key] = reached
     return reached
 
 
@@ -87,40 +143,72 @@ def _find_simple_paths(
     backward_depth = max_length // 2
     forward = _expand_tree(kg, source, forward_depth, tracer)
     backward = _expand_tree(kg, target, backward_depth, tracer)
+    if len(backward) < len(forward):
+        # Intersect from the smaller tree; the meeting set is symmetric.
+        forward, backward = backward, forward
+        flip = True
+    else:
+        flip = False
 
     found: set[Path] = set()
-    for meeting, forward_walks in forward.items():
-        backward_walks = backward.get(meeting)
-        if backward_walks is None:
+    for meeting, left_walks in forward.items():
+        right_walks = backward.get(meeting)
+        if right_walks is None:
             continue
-        for forward_path, forward_visited in forward_walks:
-            for backward_path, backward_visited in backward_walks:
-                total = len(forward_path) + len(backward_path)
+        for left_path, left_nodes in left_walks:
+            for right_path, right_nodes in right_walks:
+                total = len(left_path) + len(right_path)
                 if total == 0 or total > max_length:
                     continue
-                # Simplicity: the two halves may share only the meeting node.
-                if (forward_visited & backward_visited) != {meeting}:
+                # Simplicity: the two halves may share only the meeting
+                # node (the last element of both node sequences).
+                if _halves_overlap(left_nodes, right_nodes):
                     continue
-                found.add(forward_path + reverse_path(backward_path))
+                if flip:
+                    found.add(right_path + reverse_path(left_path))
+                else:
+                    found.add(left_path + reverse_path(right_path))
     return found
+
+
+def _halves_overlap(left_nodes: tuple[int, ...], right_nodes: tuple[int, ...]) -> bool:
+    """Whether two walk halves share any node besides their common last one.
+
+    Node sequences are ≤ ⌈θ/2⌉ + 1 long, so nested tuple scans beat
+    building and intersecting sets per walk pair.
+    """
+    for node in left_nodes[:-1]:
+        if node in right_nodes:
+            return True
+    return False
 
 
 def _paths_to_literal(
     kg: KnowledgeGraph, source: int, literal: int, max_length: int, tracer=obs.NOOP
 ) -> set[Path]:
-    """Simple paths ending in the final hop onto a literal object."""
-    from repro.rdf.graph import forward_step
+    """Simple paths ending in the final hop onto a literal object.
 
-    structural = kg.structural_predicate_ids
+    The entity-to-entity prefix enumeration is memoized per
+    (source, holder, length budget) in a kernel cache region: distinct
+    literals held by the same subject (heights, dates, names) would
+    otherwise re-enumerate identical prefixes.
+    """
+    structural = kg.kernel.structural_predicate_ids
+    prefix_cache = kg.kernel.cache_region("mining.literal_prefixes")
     found: set[Path] = set()
     for holder, pid, _obj in kg.store.triples_ids(o=literal):
         if pid in structural:
             continue
-        final = forward_step(pid)
+        final = pid + 1  # forward step onto the literal
         if holder == source and max_length >= 1:
             found.add((final,))
         if max_length >= 2:
-            for prefix in _find_simple_paths(kg, source, holder, max_length - 1, tracer):
+            key = (source, holder, max_length - 1)
+            prefixes = prefix_cache.get(key)
+            if prefixes is None:
+                prefixes = _find_simple_paths(kg, source, holder, max_length - 1, tracer)
+                prefix_cache[key] = prefixes
+            for prefix in prefixes:
                 found.add(prefix + (final,))
     return found
 

@@ -28,6 +28,30 @@ def tf_value(path: Path, pair_path_sets: PairPathSets) -> int:
     return sum(1 for path_set in pair_path_sets if path in path_set)
 
 
+def document_frequencies(
+    all_phrase_paths: Mapping[str, Iterable[Path]],
+) -> dict[Path, int]:
+    """``path → |{rel : path ∈ PS(rel)}|`` in one pass over the dictionary.
+
+    The idf denominator for every candidate path at once: scoring a whole
+    mining run needs the count for each (phrase, path) combination, and
+    recomputing it per lookup is quadratic in the dictionary size.
+    """
+    counts: dict[Path, int] = {}
+    for paths in all_phrase_paths.values():
+        for path in set(paths):
+            counts[path] = counts.get(path, 0) + 1
+    return counts
+
+
+def smoothed_idf_from_count(containing: int, total: int) -> float:
+    """Smoothed idf from a precomputed document frequency (see
+    :func:`smoothed_idf_value` for the smoothing rationale)."""
+    if total == 0:
+        return 0.0
+    return math.log((total + 1) / (containing + 1))
+
+
 def idf_value(path: Path, all_phrase_paths: Mapping[str, Iterable[Path]]) -> float:
     """idf of ``path`` over the phrase dictionary T (Definition 4)."""
     total = len(all_phrase_paths)

@@ -15,7 +15,9 @@ operations the algorithms need —
 
 Predicate-path steps are encoded as signed integers: ``pid + 1`` for a step
 that follows the edge direction, ``-(pid + 1)`` against it.  The +1 offset
-keeps predicate id 0 representable in both directions.
+keeps predicate id 0 representable in both directions.  (The encoding
+helpers live in :mod:`repro.rdf.kernel` — the compact adjacency index that
+backs every hot path here — and are re-exported for compatibility.)
 """
 
 from __future__ import annotations
@@ -24,9 +26,29 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterator
 
-from repro.rdf import vocab
+from repro.rdf.kernel import (
+    AdjacencyKernel,
+    backward_step,
+    forward_step,
+    reverse_path,
+    step_is_forward,
+    step_predicate,
+)
 from repro.rdf.store import TripleStore
 from repro.rdf.terms import IRI, Term
+
+__all__ = [
+    "AdjacencyKernel",
+    "Direction",
+    "Edge",
+    "KnowledgeGraph",
+    "backward_step",
+    "encode_step",
+    "forward_step",
+    "reverse_path",
+    "step_is_forward",
+    "step_predicate",
+]
 
 
 class Direction(Enum):
@@ -48,73 +70,67 @@ class Edge:
     direction: Direction
 
 
-# --------------------------------------------------------------------- #
-# Signed path-step encoding
-# --------------------------------------------------------------------- #
-
-def forward_step(predicate_id: int) -> int:
-    """Encode a step that traverses ``predicate_id`` subject→object."""
-    return predicate_id + 1
-
-
-def backward_step(predicate_id: int) -> int:
-    """Encode a step that traverses ``predicate_id`` object→subject."""
-    return -(predicate_id + 1)
-
-
-def step_predicate(step: int) -> int:
-    """The predicate id of a signed step."""
-    return abs(step) - 1
-
-
-def step_is_forward(step: int) -> bool:
-    return step > 0
-
-
 def encode_step(predicate_id: int, direction: Direction) -> int:
     if direction is Direction.OUT:
         return forward_step(predicate_id)
     return backward_step(predicate_id)
 
 
-def reverse_path(path: tuple[int, ...]) -> tuple[int, ...]:
-    """The same predicate path walked from the far endpoint back."""
-    return tuple(-step for step in reversed(path))
+def _step_to_edge(step: int, node: int) -> Edge:
+    if step > 0:
+        return Edge(step - 1, node, Direction.OUT)
+    return Edge(-step - 1, node, Direction.IN)
 
 
 class KnowledgeGraph:
     """Algorithm-facing view of a triple store.
 
-    Structural caches (class set, label index, structural predicate ids) are
-    built lazily on first use; call :meth:`refresh` after mutating the
-    underlying store.
+    Structural caches (the adjacency kernel, class set, label index,
+    subclass closures) are built lazily on first use; call :meth:`refresh`
+    after mutating the underlying store.
     """
 
     def __init__(self, store: TripleStore):
         self.store = store
+        self._kernel: AdjacencyKernel | None = None
         self._class_ids: set[int] | None = None
         self._label_index: dict[int, str] | None = None
-        self._structural_pred_ids: set[int] | None = None
         self._literals_by_lexical: dict[str, set[int]] | None = None
+        self._superclass_closure: dict[int, frozenset[int]] = {}
+        self._subclass_closure: dict[int, frozenset[int]] = {}
+        self._instances: dict[tuple[int, bool], frozenset[int]] = {}
+        self._incident: dict[int, frozenset[tuple[int, Direction]]] = {}
 
     def refresh(self) -> None:
-        """Drop caches so they rebuild against the store's current contents."""
+        """Drop caches so they rebuild against the store's current contents.
+
+        This also drops the adjacency kernel, which transitively invalidates
+        everything hanging off it: the walk-path LRU, the incident-step
+        signatures, and the mining scratch regions.
+        """
+        self._kernel = None
         self._class_ids = None
         self._label_index = None
-        self._structural_pred_ids = None
         self._literals_by_lexical = None
+        self._superclass_closure = {}
+        self._subclass_closure = {}
+        self._instances = {}
+        self._incident = {}
 
     # ------------------------------------------------------------------ #
-    # Vocabulary / id helpers
+    # Kernel / vocabulary / id helpers
     # ------------------------------------------------------------------ #
 
     @property
-    def structural_predicate_ids(self) -> set[int]:
-        if self._structural_pred_ids is None:
-            lookup = self.store.dictionary.lookup_or_none
-            ids = (lookup(pred) for pred in vocab.STRUCTURAL_PREDICATES)
-            self._structural_pred_ids = {pid for pid in ids if pid is not None}
-        return self._structural_pred_ids
+    def kernel(self) -> AdjacencyKernel:
+        """The compact adjacency index for the store's current version."""
+        if self._kernel is None:
+            self._kernel = AdjacencyKernel(self.store)
+        return self._kernel
+
+    @property
+    def structural_predicate_ids(self) -> frozenset[int]:
+        return self.kernel.structural_predicate_ids
 
     def id_of(self, term: Term) -> int | None:
         return self.store.dictionary.lookup_or_none(term)
@@ -141,12 +157,12 @@ class KnowledgeGraph:
         """
         if self._class_ids is None:
             classes: set[int] = set()
-            type_id = self.id_of(vocab.RDF_TYPE)
+            type_id = self.kernel.type_id
             if type_id is not None:
-                classes.update(self.store._pos.get(type_id, {}).keys())
-            sub_id = self.id_of(vocab.RDFS_SUBCLASSOF)
+                classes.update(self.store.objects_of_predicate(type_id))
+            sub_id = self.kernel.subclass_id
             if sub_id is not None:
-                for sid, pid, oid in self.store.triples_ids(p=sub_id):
+                for sid, _pid, oid in self.store.triples_ids(p=sub_id):
                     classes.add(sid)
                     classes.add(oid)
             self._class_ids = classes
@@ -171,51 +187,96 @@ class KnowledgeGraph:
 
     def types_of(self, entity_id: int) -> set[int]:
         """Direct ``rdf:type`` classes of an entity."""
-        type_id = self.id_of(vocab.RDF_TYPE)
+        type_id = self.kernel.type_id
         if type_id is None:
             return set()
-        return set(self.store._spo.get(entity_id, {}).get(type_id, ()))
+        return set(self.store.objects_ids(entity_id, type_id))
 
-    def types_of_transitive(self, entity_id: int) -> set[int]:
-        """Classes of an entity, closed under ``rdfs:subClassOf``."""
-        found = self.types_of(entity_id)
-        frontier = list(found)
-        sub_id = self.id_of(vocab.RDFS_SUBCLASSOF)
-        if sub_id is None:
-            return found
-        while frontier:
-            cls = frontier.pop()
-            for parent in self.store._spo.get(cls, {}).get(sub_id, ()):
-                if parent not in found:
-                    found.add(parent)
-                    frontier.append(parent)
-        return found
+    def superclasses_of(self, class_id: int) -> frozenset[int]:
+        """``rdfs:subClassOf`` closure of a class, including itself.
 
-    def has_type(self, entity_id: int, class_id: int) -> bool:
-        """Whether ``entity_id rdf:type class_id`` holds (with subclass closure)."""
-        if class_id in self.types_of(entity_id):
-            return True
-        return class_id in self.types_of_transitive(entity_id)
-
-    def instances_of(self, class_id: int, transitive: bool = True) -> set[int]:
-        """Entities whose type is ``class_id`` (optionally via subclasses)."""
-        type_id = self.id_of(vocab.RDF_TYPE)
-        if type_id is None:
-            return set()
-        classes = {class_id}
-        if transitive:
-            sub_id = self.id_of(vocab.RDFS_SUBCLASSOF)
+        Cached per class (and cycle-safe), so the transitive type test of
+        Definition 3 condition 2 costs one set lookup after warm-up.
+        """
+        closure = self._superclass_closure.get(class_id)
+        if closure is None:
+            sub_id = self.kernel.subclass_id
+            found = {class_id}
             if sub_id is not None:
+                objects_ids = self.store.objects_ids
                 frontier = [class_id]
                 while frontier:
                     cls = frontier.pop()
-                    for child in self.store._pos.get(sub_id, {}).get(cls, ()):
-                        if child not in classes:
-                            classes.add(child)
+                    for parent in objects_ids(cls, sub_id):
+                        if parent not in found:
+                            found.add(parent)
+                            frontier.append(parent)
+            closure = frozenset(found)
+            self._superclass_closure[class_id] = closure
+        return closure
+
+    def types_of_transitive(self, entity_id: int) -> set[int]:
+        """Classes of an entity, closed under ``rdfs:subClassOf``."""
+        found: set[int] = set()
+        for cls in self.types_of(entity_id):
+            found |= self.superclasses_of(cls)
+        return found
+
+    def has_type(self, entity_id: int, class_id: int) -> bool:
+        """Whether ``entity_id rdf:type class_id`` holds (with subclass closure).
+
+        Single pass: each direct type's cached superclass closure already
+        contains the type itself, so the direct and transitive checks
+        collapse into one membership test per direct type.
+        """
+        type_id = self.kernel.type_id
+        if type_id is None:
+            return False
+        for cls in self.store.objects_ids(entity_id, type_id):
+            if cls == class_id or class_id in self.superclasses_of(cls):
+                return True
+        return False
+
+    def subclasses_of(self, class_id: int) -> frozenset[int]:
+        """``rdfs:subClassOf`` descendants of a class, including itself."""
+        closure = self._subclass_closure.get(class_id)
+        if closure is None:
+            sub_id = self.kernel.subclass_id
+            found = {class_id}
+            if sub_id is not None:
+                subjects_ids = self.store.subjects_ids
+                frontier = [class_id]
+                while frontier:
+                    cls = frontier.pop()
+                    for child in subjects_ids(sub_id, cls):
+                        if child not in found:
+                            found.add(child)
                             frontier.append(child)
-        instances: set[int] = set()
-        for cls in classes:
-            instances.update(self.store._pos.get(type_id, {}).get(cls, ()))
+            closure = frozenset(found)
+            self._subclass_closure[class_id] = closure
+        return closure
+
+    def instances_of(self, class_id: int, transitive: bool = True) -> frozenset[int]:
+        """Entities whose type is ``class_id`` (optionally via subclasses).
+
+        Cached per (class, transitive) pair: class candidates are re-seeded
+        for every exploration in the top-k search, so recomputing the
+        instance set per seed dominated class-heavy queries.  The returned
+        frozenset is shared — treat it as read-only.
+        """
+        cached = self._instances.get((class_id, transitive))
+        if cached is not None:
+            return cached
+        type_id = self.kernel.type_id
+        if type_id is None:
+            instances: frozenset[int] = frozenset()
+        else:
+            classes = self.subclasses_of(class_id) if transitive else (class_id,)
+            found: set[int] = set()
+            for cls in classes:
+                found |= self.store.subjects_ids(type_id, cls)
+            instances = frozenset(found)
+        self._instances[(class_id, transitive)] = instances
         return instances
 
     # ------------------------------------------------------------------ #
@@ -227,7 +288,7 @@ class KnowledgeGraph:
         """node id → preferred rdfs:label lexical form (first one stored)."""
         if self._label_index is None:
             index: dict[int, str] = {}
-            label_id = self.id_of(vocab.RDFS_LABEL)
+            label_id = self.kernel.label_id
             if label_id is not None:
                 for sid, _pid, oid in self.store.triples_ids(p=label_id):
                     if sid not in index:
@@ -248,7 +309,7 @@ class KnowledgeGraph:
 
     def all_labels(self, node_id: int) -> list[str]:
         """Every rdfs:label of the node (entity linking indexes all of them)."""
-        label_id = self.id_of(vocab.RDFS_LABEL)
+        label_id = self.kernel.label_id
         if label_id is None:
             return []
         decode = self.store.dictionary.decode
@@ -265,9 +326,9 @@ class KnowledgeGraph:
         """
         if self._literals_by_lexical is None:
             index: dict[str, set[int]] = {}
-            for literal_id in self.store._literal_ids:
-                term = self.store.dictionary.decode(literal_id)
-                index.setdefault(str(term), set()).add(literal_id)
+            decode = self.store.dictionary.decode
+            for literal_id in self.store.iter_literal_ids():
+                index.setdefault(str(decode(literal_id)), set()).add(literal_id)
             self._literals_by_lexical = index
         return set(self._literals_by_lexical.get(lexical, ()))
 
@@ -281,19 +342,32 @@ class KnowledgeGraph:
         include_structural: bool = False,
         include_literals: bool = True,
     ) -> Iterator[Edge]:
-        """All incident edges of a node, both orientations."""
-        skip = () if include_structural else self.structural_predicate_ids
-        for pid, objects in self.store._spo.get(node_id, {}).items():
-            if pid in skip:
-                continue
+        """All incident edges of a node, both orientations.
+
+        The structural-free variants stream straight off the kernel's
+        precomputed rows; ``include_structural=True`` is the cold path
+        (linker salience only) and walks the store indexes.
+        """
+        if include_structural:
+            yield from self._edges_with_structural(node_id, include_literals)
+            return
+        kernel = self.kernel
+        row = kernel.entity_adjacency(node_id) if not include_literals \
+            else kernel.adjacency(node_id)
+        for step, node in zip(*row):
+            yield _step_to_edge(step, node)
+
+    def _edges_with_structural(
+        self, node_id: int, include_literals: bool
+    ) -> Iterator[Edge]:
+        is_literal = self.store.is_literal_id
+        for pid, objects in self.store.out_index(node_id).items():
             for oid in objects:
-                if not include_literals and self.store.is_literal_id(oid):
+                if not include_literals and is_literal(oid):
                     continue
                 yield Edge(pid, oid, Direction.OUT)
-        for sid, preds in self.store._osp.get(node_id, {}).items():
+        for sid, preds in self.store.in_index(node_id).items():
             for pid in preds:
-                if pid in skip:
-                    continue
                 yield Edge(pid, sid, Direction.IN)
 
     def undirected_neighbors(self, node_id: int) -> Iterator[Edge]:
@@ -302,45 +376,42 @@ class KnowledgeGraph:
         Skips structural predicates and literal endpoints: a predicate path
         through ``rdfs:label`` or a literal never denotes a domain relation.
         """
-        for edge in self.edges(node_id, include_structural=False, include_literals=False):
-            yield edge
+        for step, node in zip(*self.kernel.entity_adjacency(node_id)):
+            yield _step_to_edge(step, node)
 
     def degree(self, node_id: int, include_structural: bool = False) -> int:
-        return sum(1 for _ in self.edges(node_id, include_structural=include_structural))
+        if not include_structural:
+            return self.kernel.degree(node_id)
+        return sum(1 for _ in self._edges_with_structural(node_id, True))
 
-    def incident_predicates(self, node_id: int) -> set[tuple[int, Direction]]:
+    def incident_predicates(self, node_id: int) -> frozenset[tuple[int, Direction]]:
         """(predicate, direction) pairs incident to a node.
 
         This is the signature the neighborhood-based pruning of
         Section 4.2.2 checks: a candidate vertex without an adjacent
         predicate that some Q^S edge can map to cannot be in any match.
+        Derived from the kernel's memoized signed-step signature; the
+        returned frozenset is shared — treat it as read-only.
         """
-        return {
-            (edge.predicate, edge.direction)
-            for edge in self.edges(node_id, include_structural=False)
-        }
+        cached = self._incident.get(node_id)
+        if cached is None:
+            cached = frozenset(
+                (step - 1, Direction.OUT) if step > 0 else (-step - 1, Direction.IN)
+                for step in self.kernel.incident_steps(node_id)
+            )
+            self._incident[node_id] = cached
+        return cached
 
     def walk_path(self, start_id: int, path: tuple[int, ...]) -> set[int]:
         """All nodes reachable from ``start_id`` by following a signed path.
 
         Used at match time to check a Q^S edge that was mapped to a
-        multi-hop predicate path instead of a single predicate.
+        multi-hop predicate path instead of a single predicate.  Delegates
+        to the kernel's LRU-cached walker; the copy here keeps the public
+        mutable-set contract, hot callers use ``kg.kernel.walk_path``.
         """
-        frontier = {start_id}
-        for step in path:
-            pid = step_predicate(step)
-            next_frontier: set[int] = set()
-            if step_is_forward(step):
-                for node in frontier:
-                    next_frontier.update(self.store._spo.get(node, {}).get(pid, ()))
-            else:
-                for node in frontier:
-                    next_frontier.update(self.store._pos.get(pid, {}).get(node, ()))
-            if not next_frontier:
-                return set()
-            frontier = next_frontier
-        return frontier
+        return set(self.kernel.walk_path(start_id, path))
 
     def path_connects(self, start_id: int, end_id: int, path: tuple[int, ...]) -> bool:
         """Whether the signed path leads from ``start_id`` to ``end_id``."""
-        return end_id in self.walk_path(start_id, path)
+        return end_id in self.kernel.walk_path(start_id, path)

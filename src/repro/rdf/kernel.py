@@ -1,0 +1,275 @@
+"""Compact adjacency kernel: the hot-path substrate of graph traversal.
+
+Both hot loops of the system — the offline bidirectional BFS that
+enumerates simple predicate paths (Section 3, Algorithm 1) and the online
+subgraph matching with TA-style top-k (Section 4.2) — spend their time in
+node expansion and path walking.  Doing that over the triple store's
+nested dict-of-dict-of-set indexes costs a dict seek, a set iteration, and
+an ``Edge`` allocation per step.  The kernel precomputes, once per store
+version, a flat per-node adjacency index:
+
+* each node maps to two parallel tuples ``(steps, neighbors)`` where
+  ``steps[i]`` is the *signed step* over edge ``i`` (``pid + 1`` following
+  the predicate direction, ``-(pid + 1)`` against it — the same encoding
+  the mined predicate paths use) and ``neighbors[i]`` is the far endpoint;
+* structural predicates (``rdf:type``, ``rdfs:subClassOf``,
+  ``rdfs:label``) are filtered out at build time;
+* two variants are kept: the **full** index (literal endpoints included —
+  what neighborhood pruning checks) and the **entity** index (literal
+  endpoints excluded — what the offline path BFS walks).
+
+On top of the index the kernel memoizes the per-node incident-step
+signature (Section 4.2.2's pruning test is one frozenset intersection),
+LRU-caches :meth:`walk_path`, caches the structural vocabulary ids, and
+offers named scratch-cache regions that higher layers (path mining) use
+for store-version-scoped memoization.
+
+The kernel is immutable: it never observes store mutation.
+:meth:`repro.rdf.graph.KnowledgeGraph.refresh` drops it (and every cache
+hanging off it) so the next access rebuilds against the current triples.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator
+
+from repro.rdf import vocab
+from repro.rdf.store import TripleStore
+
+Path = tuple[int, ...]
+
+#: Pair of parallel tuples: signed steps and the matching far endpoints.
+AdjacencyRow = tuple[tuple[int, ...], tuple[int, ...]]
+
+_EMPTY_ROW: AdjacencyRow = ((), ())
+
+#: Bound on the memoized walk_path results (distinct (start, path) keys).
+_WALK_CACHE_SIZE = 1 << 16
+
+#: A scratch-cache region is cleared wholesale once it exceeds this many
+#: entries — a coarse but allocation-free stand-in for LRU eviction.
+_REGION_CAP = 1 << 15
+
+
+# --------------------------------------------------------------------- #
+# Signed path-step encoding (the kernel's wire format)
+# --------------------------------------------------------------------- #
+
+def forward_step(predicate_id: int) -> int:
+    """Encode a step that traverses ``predicate_id`` subject→object."""
+    return predicate_id + 1
+
+
+def backward_step(predicate_id: int) -> int:
+    """Encode a step that traverses ``predicate_id`` object→subject."""
+    return -(predicate_id + 1)
+
+
+def step_predicate(step: int) -> int:
+    """The predicate id of a signed step."""
+    return abs(step) - 1
+
+
+def step_is_forward(step: int) -> bool:
+    return step > 0
+
+
+def reverse_path(path: Path) -> Path:
+    """The same predicate path walked from the far endpoint back."""
+    return tuple(-step for step in reversed(path))
+
+
+class AdjacencyKernel:
+    """Immutable flat adjacency index over one version of a triple store."""
+
+    __slots__ = (
+        "store",
+        "structural_predicate_ids",
+        "type_id",
+        "subclass_id",
+        "label_id",
+        "_full",
+        "_entity",
+        "_signatures",
+        "_regions",
+        "walk_path",
+    )
+
+    def __init__(self, store: TripleStore):
+        self.store = store
+        lookup = store.dictionary.lookup_or_none
+        self.type_id: int | None = lookup(vocab.RDF_TYPE)
+        self.subclass_id: int | None = lookup(vocab.RDFS_SUBCLASSOF)
+        self.label_id: int | None = lookup(vocab.RDFS_LABEL)
+        self.structural_predicate_ids: frozenset[int] = frozenset(
+            pid
+            for pid in (lookup(pred) for pred in vocab.STRUCTURAL_PREDICATES)
+            if pid is not None
+        )
+        self._full: dict[int, AdjacencyRow] = {}
+        self._entity: dict[int, AdjacencyRow] = {}
+        self._build()
+        self._signatures: dict[int, frozenset[int]] = {}
+        self._regions: dict[str, dict] = {}
+        self.walk_path = lru_cache(maxsize=_WALK_CACHE_SIZE)(self._walk_path)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def _build(self) -> None:
+        structural = self.structural_predicate_ids
+        full: dict[int, tuple[list[int], list[int]]] = {}
+        for sid, predicate_row in self.store.iter_out_rows():
+            srow = full.get(sid)
+            if srow is None:
+                srow = full[sid] = ([], [])
+            s_steps, s_nbrs = srow
+            for pid, objects in predicate_row.items():
+                if pid in structural:
+                    continue
+                fwd = pid + 1
+                bwd = -fwd
+                for oid in objects:
+                    s_steps.append(fwd)
+                    s_nbrs.append(oid)
+                    orow = full.get(oid)
+                    if orow is None:
+                        orow = full[oid] = ([], [])
+                    orow[0].append(bwd)
+                    orow[1].append(sid)
+        self._full = {
+            node: (tuple(steps), tuple(nbrs))
+            for node, (steps, nbrs) in full.items()
+            if steps
+        }
+
+    # ------------------------------------------------------------------ #
+    # Adjacency
+    # ------------------------------------------------------------------ #
+
+    def adjacency(self, node_id: int) -> AdjacencyRow:
+        """``(steps, neighbors)`` with literal endpoints, structural-free."""
+        return self._full.get(node_id, _EMPTY_ROW)
+
+    def entity_adjacency(self, node_id: int) -> AdjacencyRow:
+        """``(steps, neighbors)`` without literal endpoints or structural
+        predicates — the rows the offline path BFS expands.
+
+        Derived lazily from the full row, once per node: most nodes have
+        no literal-valued edges and share the full row's tuples outright,
+        and nodes the BFS never reaches cost nothing at build time.
+        """
+        row = self._entity.get(node_id)
+        if row is None:
+            steps, neighbors = self._full.get(node_id, _EMPTY_ROW)
+            if steps:
+                is_literal = self.store.is_literal_id
+                keep = [
+                    index
+                    for index, neighbor in enumerate(neighbors)
+                    if not is_literal(neighbor)
+                ]
+                if len(keep) == len(steps):
+                    row = (steps, neighbors)
+                else:
+                    row = (
+                        tuple(steps[index] for index in keep),
+                        tuple(neighbors[index] for index in keep),
+                    )
+            else:
+                row = _EMPTY_ROW
+            self._entity[node_id] = row
+        return row
+
+    def neighbors(self, node_id: int) -> Iterator[tuple[int, int]]:
+        """(signed step, neighbor) pairs, literals included."""
+        return zip(*self._full.get(node_id, _EMPTY_ROW))
+
+    def entity_neighbors(self, node_id: int) -> Iterator[tuple[int, int]]:
+        """(signed step, neighbor) pairs, literals excluded."""
+        return zip(*self.entity_adjacency(node_id))
+
+    def degree(self, node_id: int) -> int:
+        """Incident non-structural edges (either orientation)."""
+        return len(self._full.get(node_id, _EMPTY_ROW)[0])
+
+    def incident_steps(self, node_id: int) -> frozenset[int]:
+        """Memoized signature: the distinct signed steps incident to a node.
+
+        This is the set the neighborhood-based pruning of Section 4.2.2
+        intersects with an edge's admissible first steps; literal-valued
+        edges are included, exactly as a Q^S edge can end on a literal.
+        """
+        signature = self._signatures.get(node_id)
+        if signature is None:
+            signature = frozenset(self._full.get(node_id, _EMPTY_ROW)[0])
+            self._signatures[node_id] = signature
+        return signature
+
+    # ------------------------------------------------------------------ #
+    # Path walking
+    # ------------------------------------------------------------------ #
+
+    def _walk_path(self, start_id: int, path: Path) -> frozenset[int]:
+        """All nodes reachable from ``start_id`` by following a signed path.
+
+        Wrapped by an LRU cache as ``self.walk_path`` — match-time checks
+        walk the same (seed, mined-path) pairs over and over.  Returns a
+        frozenset: cached values are shared, never mutated by callers.
+        """
+        store = self.store
+        if len(path) == 1:
+            step = path[0]
+            if step > 0:
+                return frozenset(store.objects_ids(start_id, step - 1))
+            return frozenset(store.subjects_ids(-step - 1, start_id))
+        frontier: tuple[int, ...] | set[int] = (start_id,)
+        for step in path:
+            next_frontier: set[int] = set()
+            if step > 0:
+                pid = step - 1
+                for node in frontier:
+                    next_frontier |= store.objects_ids(node, pid)
+            else:
+                pid = -step - 1
+                for node in frontier:
+                    next_frontier |= store.subjects_ids(pid, node)
+            if not next_frontier:
+                return frozenset()
+            frontier = next_frontier
+        return frozenset(frontier)
+
+    # ------------------------------------------------------------------ #
+    # Scratch caches
+    # ------------------------------------------------------------------ #
+
+    def cache_region(self, name: str) -> dict:
+        """A named memoization dict scoped to this kernel's lifetime.
+
+        Dropped with the kernel on :meth:`KnowledgeGraph.refresh`, so a
+        cached value can never outlive the store version it was computed
+        from.  Regions self-clear past ``_REGION_CAP`` entries to bound
+        memory on large mining runs.
+        """
+        region = self._regions.get(name)
+        if region is None:
+            region = self._regions[name] = {}
+        elif len(region) > _REGION_CAP:
+            region.clear()
+        return region
+
+    def statistics(self) -> dict[str, int]:
+        """Index size counters (exported by the perf baseline).
+
+        Materializes every entity row (they are built lazily), so this is
+        a cold-path call for reporting, not a hot-loop one.
+        """
+        entity_rows = [self.entity_adjacency(node) for node in self._full]
+        return {
+            "nodes_full": len(self._full),
+            "nodes_entity": sum(1 for steps, _n in entity_rows if steps),
+            "edge_slots_full": sum(len(s) for s, _n in self._full.values()),
+            "edge_slots_entity": sum(len(s) for s, _n in entity_rows),
+        }

@@ -12,12 +12,17 @@ All mutation goes through :meth:`add`; the store is append-only except for
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import AbstractSet, Iterable, Iterator, Mapping
 
 from repro.rdf.dictionary import TermDictionary
 from repro.rdf.terms import IRI, Literal, Term, Triple
 
 _IdTriple = tuple[int, int, int]
+
+#: Shared empty views returned by the read-only accessors below; callers
+#: treat every returned set/mapping as immutable, so one instance suffices.
+_EMPTY_SET: frozenset[int] = frozenset()
+_EMPTY_MAP: dict[int, frozenset[int]] = {}
 
 
 class TripleStore:
@@ -195,6 +200,53 @@ class TripleStore:
         if p is not None and o is not None and s is None:
             return len(self._pos.get(p, {}).get(o, ()))
         return sum(1 for _ in self.triples_ids(s, p, o))
+
+    # ------------------------------------------------------------------ #
+    # Read-only index views
+    # ------------------------------------------------------------------ #
+    #
+    # These expose the permutation indexes at the id layer without leaking
+    # the private dict-of-dict-of-set layout: callers get live *views* that
+    # must not be mutated.  The adjacency kernel and the graph view build
+    # their caches from these instead of reaching into ``_spo``/``_pos``/
+    # ``_osp``/``_literal_ids`` directly.
+
+    def objects_ids(self, s: int, p: int) -> AbstractSet[int]:
+        """Objects of ``(s, p, ?)`` — a read-only view, possibly empty."""
+        return self._spo.get(s, _EMPTY_MAP).get(p, _EMPTY_SET)
+
+    def subjects_ids(self, p: int, o: int) -> AbstractSet[int]:
+        """Subjects of ``(?, p, o)`` — a read-only view, possibly empty."""
+        return self._pos.get(p, _EMPTY_MAP).get(o, _EMPTY_SET)
+
+    def out_index(self, s: int) -> Mapping[int, AbstractSet[int]]:
+        """The SPO row of a subject: predicate → object set (read-only)."""
+        return self._spo.get(s, _EMPTY_MAP)
+
+    def in_index(self, o: int) -> Mapping[int, AbstractSet[int]]:
+        """The OSP row of an object: subject → predicate set (read-only)."""
+        return self._osp.get(o, _EMPTY_MAP)
+
+    def objects_of_predicate(self, p: int) -> Iterator[int]:
+        """Distinct object ids appearing with predicate ``p``."""
+        return iter(self._pos.get(p, _EMPTY_MAP))
+
+    def iter_out_rows(self) -> Iterator[tuple[int, Mapping[int, AbstractSet[int]]]]:
+        """Every subject's SPO row: ``(subject, predicate → object set)``.
+
+        The bulk form of :meth:`out_index` — one pass over the whole graph
+        grouped by subject, so a consumer (the adjacency kernel build)
+        amortizes per-subject work over all its triples.  Rows are
+        read-only views.
+        """
+        return iter(self._spo.items())
+
+    def iter_literal_ids(self) -> Iterator[int]:
+        """Ids of every stored literal term."""
+        return iter(self._literal_ids)
+
+    def literal_count(self) -> int:
+        return len(self._literal_ids)
 
     # ------------------------------------------------------------------ #
     # Vocabulary accessors

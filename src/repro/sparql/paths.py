@@ -94,7 +94,7 @@ def _targets_of(store: TripleStore, path: PathExpr, source: int) -> set[int]:
         pid = store.dictionary.lookup_or_none(path.predicate)
         if pid is None:
             return set()
-        return set(store._spo.get(source, {}).get(pid, ()))
+        return set(store.objects_ids(source, pid))
     if isinstance(path, InversePath):
         return _sources_of(store, path.inner, source)
     if isinstance(path, SequencePath):
@@ -135,7 +135,7 @@ def _sources_of(store: TripleStore, path: PathExpr, target: int) -> set[int]:
         pid = store.dictionary.lookup_or_none(path.predicate)
         if pid is None:
             return set()
-        return set(store._pos.get(pid, {}).get(target, ()))
+        return set(store.subjects_ids(pid, target))
     if isinstance(path, InversePath):
         return _targets_of(store, path.inner, target)
     if isinstance(path, SequencePath):
