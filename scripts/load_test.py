@@ -1,0 +1,419 @@
+#!/usr/bin/env python
+"""Serving-layer load test → BENCH_serve.json.
+
+Drives a ``repro serve`` instance with concurrent QALD questions and
+records the serving-perf trajectory next to the kernel baseline
+(``BENCH_kernel.json``).  Three measured passes:
+
+* ``serial``     — one client, every question once (the cold-cache floor);
+* ``concurrent`` — ``--clients`` threads sharing the question set (the
+  answer cache and thread pool both help; the acceptance bar is ≥ 2x the
+  serial throughput at 16 clients);
+* ``repeated``   — the same questions again, all clients (≈ pure cache
+  hits: the steady state of production traffic with repeating questions).
+
+Each pass reports throughput, p50/p95/p99 latency, HTTP error count,
+degraded/deadline counts, and the answer-cache hit delta (read from
+``GET /stats`` around the pass).
+
+By default the script self-hosts: it builds the synthetic-scenario engine
+in-process on an ephemeral port.  Point it at an external server with
+``--url`` (the CI smoke job starts ``repro serve`` separately and does
+this).  The process exits non-zero when any request errors, and
+``--check FILE`` additionally gates on p95 latency regressing more than
+``--max-regression``x against a committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python scripts/load_test.py --clients 16 --output BENCH_serve.json
+    PYTHONPATH=src python scripts/load_test.py --quick --url http://127.0.0.1:8765 \
+        --check BENCH_serve.json --max-regression 3.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from datetime import datetime, timezone
+from pathlib import Path
+
+SCHEMA = "bench_serve/v1"
+
+
+# --------------------------------------------------------------------- #
+# HTTP client
+# --------------------------------------------------------------------- #
+
+def _post_ask(base_url: str, question: str, timeout: float = 30.0) -> tuple[int, dict]:
+    body = json.dumps({"question": question}).encode("utf-8")
+    request = urllib.request.Request(
+        f"{base_url}/ask", data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        try:
+            payload = json.loads(error.read())
+        except Exception:
+            payload = {}
+        return error.code, payload
+    except (urllib.error.URLError, ConnectionError, OSError, TimeoutError) as error:
+        # A transport-level failure (reset, refused, timeout) is a load-test
+        # error like any non-200 — recorded, never a dead worker thread.
+        return 0, {"error": str(error)}
+
+
+def _get_json(base_url: str, path: str, timeout: float = 10.0) -> dict:
+    with urllib.request.urlopen(f"{base_url}{path}", timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def wait_ready(base_url: str, timeout: float = 60.0) -> dict:
+    """Poll /healthz until the engine reports ready (or raise)."""
+    deadline = time.monotonic() + timeout
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            health = _get_json(base_url, "/healthz", timeout=2.0)
+            if health.get("ready"):
+                return health
+        except (urllib.error.URLError, ConnectionError, OSError) as error:
+            last_error = error
+        time.sleep(0.25)
+    raise RuntimeError(f"server at {base_url} never became ready: {last_error}")
+
+
+# --------------------------------------------------------------------- #
+# Question sets
+# --------------------------------------------------------------------- #
+
+def synthetic_questions(count: int, seed: int = 11) -> list[str]:
+    """Deterministic questions that do real search work on the synthetic KG.
+
+    QALD texts fail entity linking on the synthetic graph in ~1 ms, which
+    measures the HTTP stack rather than the engine; these questions link
+    ("entity N" labels exist) and run the top-k search (~tens of ms cold),
+    so the serial pass has actual compute for the cache to amortize.
+    """
+    import random
+
+    from repro.datasets import SyntheticConfig, build_phrase_dataset, build_synthetic_kg
+    from repro.datasets.patty_sim import scale_phrase_dataset
+    from repro.datasets.synthetic import entity_pool
+
+    kg = build_synthetic_kg(
+        SyntheticConfig(entities=1000, triples_per_entity=4, predicates=30)
+    )
+    dataset = scale_phrase_dataset(build_phrase_dataset(), 100, 5, entity_pool(kg))
+    # Generated filler names ("synthetic relation 43") fail the parser's
+    # relation extraction immediately — only real verb phrases search.
+    phrases = [
+        phrase for phrase in sorted(dataset.support)
+        if not phrase.startswith("synthetic relation")
+    ]
+    rng = random.Random(seed)
+    return [
+        f"Which entity {rng.choice(phrases)} entity {rng.randrange(1000)}?"
+        for _ in range(count)
+    ]
+
+
+def build_questions(question_set: str, cap: int | None) -> list[str]:
+    from repro.datasets import qald_questions
+
+    qald = [q.text for q in qald_questions()]
+    if cap:
+        qald = qald[:cap]
+    if question_set == "qald":
+        return qald
+    synthetic = synthetic_questions(max(8, len(qald) // 3))
+    if question_set == "synthetic":
+        return synthetic
+    # mixed: QALD texts (the paper's benchmark traffic) interleaved with
+    # questions the synthetic store can actually answer.
+    return qald + synthetic
+
+
+# --------------------------------------------------------------------- #
+# Measurement
+# --------------------------------------------------------------------- #
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def run_pass(
+    base_url: str, questions: list[str], clients: int, name: str
+) -> dict:
+    """One measured pass: ``clients`` threads each asking every question."""
+    stats_before = _get_json(base_url, "/stats")
+    latencies: list[float] = []
+    errors: list[tuple[int, str]] = []
+    degraded = 0
+    deadline_cut = 0
+    cached = 0
+    lock = threading.Lock()
+
+    def worker(worker_questions: list[str]) -> None:
+        nonlocal degraded, deadline_cut, cached
+        for question in worker_questions:
+            started = time.perf_counter()
+            status, payload = _post_ask(base_url, question)
+            elapsed = (time.perf_counter() - started) * 1000.0
+            with lock:
+                latencies.append(elapsed)
+                if status != 200:
+                    errors.append((status, question))
+                    continue
+                if payload.get("degraded"):
+                    degraded += 1
+                if payload.get("terminated_by") == "deadline":
+                    deadline_cut += 1
+                if payload.get("cached"):
+                    cached += 1
+
+    threads = [
+        threading.Thread(target=worker, args=(list(questions),), daemon=True)
+        for _ in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+
+    stats_after = _get_json(base_url, "/stats")
+    cache_hits = (
+        stats_after["answer_cache"]["hits"] - stats_before["answer_cache"]["hits"]
+    )
+    ordered = sorted(latencies)
+    total = len(latencies)
+    result = {
+        "clients": clients,
+        "requests": total,
+        "wall_s": round(wall, 4),
+        "throughput_qps": round(total / wall, 2) if wall > 0 else None,
+        "latency_ms": {
+            "p50": round(_percentile(ordered, 0.50), 3),
+            "p95": round(_percentile(ordered, 0.95), 3),
+            "p99": round(_percentile(ordered, 0.99), 3),
+            "max": round(ordered[-1], 3) if ordered else 0.0,
+        },
+        "errors": len(errors),
+        "degraded": degraded,
+        "deadline_cut": deadline_cut,
+        "cached_responses": cached,
+        "cache_hits": cache_hits,
+    }
+    print(
+        f"  {name:10s} {clients:3d} clients  {total:5d} reqs  "
+        f"{result['throughput_qps']:>8} q/s  "
+        f"p50 {result['latency_ms']['p50']:7.2f} ms  "
+        f"p95 {result['latency_ms']['p95']:7.2f} ms  "
+        f"errors {len(errors)}  cache hits {cache_hits}"
+    )
+    for status, question in errors[:5]:
+        print(f"    error {status}: {question!r}", file=sys.stderr)
+    return result
+
+
+def run_load_test(base_url: str, clients: int, questions: list[str]) -> dict:
+    health = wait_ready(base_url)
+    print(f"server ready (store v{health.get('store_version')}); "
+          f"{len(questions)} questions, {clients} clients")
+
+    # Untimed warmup so both the engine's lazy state and the HTTP stack
+    # are warm before the serial floor is measured.
+    for question in questions[: min(5, len(questions))]:
+        _post_ask(base_url, question)
+
+    serial = run_pass(base_url, questions, clients=1, name="serial")
+    concurrent = run_pass(base_url, questions, clients=clients, name="concurrent")
+    repeated = run_pass(base_url, questions, clients=clients, name="repeated")
+
+    speedup = None
+    if serial["throughput_qps"] and concurrent["throughput_qps"]:
+        speedup = round(concurrent["throughput_qps"] / serial["throughput_qps"], 2)
+    print(f"  speedup (concurrent vs serial): {speedup}x")
+
+    metrics = _get_json(base_url, "/metrics")
+    stats = _get_json(base_url, "/stats")
+    return {
+        "schema": SCHEMA,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "clients": clients,
+        "questions": len(questions),
+        "passes": {
+            "serial": serial,
+            "concurrent": concurrent,
+            "repeated": repeated,
+        },
+        "concurrent_speedup": speedup,
+        "answer_cache": stats.get("answer_cache"),
+        "admission": stats.get("admission"),
+        "counters": metrics.get("counters", {}),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Self-hosted server (no --url)
+# --------------------------------------------------------------------- #
+
+def start_local_server(dataset: str):
+    """``repro serve`` as a subprocess on an ephemeral port (returns
+    ``(base_url, shutdown_callable)``).
+
+    A subprocess — not an in-process thread — so the server has its own
+    interpreter (and GIL): measured concurrency then reflects a real
+    deployment, where client and server never contend for one GIL.
+    """
+    import os
+    import re
+    import subprocess
+
+    repo_root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(repo_root / "src"), env.get("PYTHONPATH")])
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--dataset", dataset, "--port", "0"],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    # The serve command prints its bound address first (flush=True); with
+    # --port 0 that line is the only way to learn the ephemeral port.
+    line = process.stdout.readline()
+    match = re.search(r"http://([\d.]+):(\d+)", line)
+    if not match:
+        process.terminate()
+        raise RuntimeError(f"could not parse server address from: {line!r}")
+
+    def shutdown() -> None:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+    return f"http://{match.group(1)}:{match.group(2)}", shutdown
+
+
+# --------------------------------------------------------------------- #
+# Regression gate
+# --------------------------------------------------------------------- #
+
+def check_regression(current: dict, baseline_path: Path, max_regression: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("schema") != SCHEMA:
+        print(f"error: {baseline_path} is not a {SCHEMA} baseline", file=sys.stderr)
+        return 2
+    failures = 0
+    print(f"\nregression check against {baseline_path} (limit {max_regression}x):")
+    for name, entry in current["passes"].items():
+        reference = baseline["passes"].get(name)
+        if reference is None:
+            print(f"  {name:10s} (no baseline — skipped)")
+            continue
+        current_p95 = entry["latency_ms"]["p95"]
+        reference_p95 = reference["latency_ms"]["p95"]
+        if reference_p95 <= 0:
+            print(f"  {name:10s} (degenerate baseline p95 — skipped)")
+            continue
+        ratio = current_p95 / reference_p95
+        verdict = "ok" if ratio <= max_regression else "REGRESSED"
+        print(f"  {name:10s} p95 {current_p95:8.2f} ms vs {reference_p95:8.2f} ms "
+              f"baseline  ({ratio:4.2f}x)  {verdict}")
+        if ratio > max_regression:
+            failures += 1
+    if failures:
+        print(f"error: {failures} pass(es) regressed beyond {max_regression}x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default=None,
+                        help="base URL of a running repro serve instance "
+                        "(default: self-host an in-process server)")
+    parser.add_argument("--dataset", choices=("dbpedia-mini", "synthetic"),
+                        default="synthetic",
+                        help="dataset for the self-hosted server (default synthetic)")
+    parser.add_argument("--clients", type=int, default=16,
+                        help="concurrent client threads (default 16)")
+    parser.add_argument("--questions", type=int, default=None,
+                        help="cap the QALD question count")
+    parser.add_argument("--question-set", choices=("mixed", "qald", "synthetic"),
+                        default="mixed",
+                        help="workload: QALD texts, synthetic-KG questions, "
+                        "or both (default mixed)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: 8 clients, 25 questions")
+    parser.add_argument("--output", metavar="FILE", default=None,
+                        help="write the benchmark JSON here")
+    parser.add_argument("--check", metavar="FILE", default=None,
+                        help="compare p95 latency against a previous baseline")
+    parser.add_argument("--max-regression", type=float, default=3.0,
+                        help="fail when a pass's p95 is this many times the "
+                        "baseline's (default 3.0)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless concurrent throughput is at least "
+                        "this multiple of the serial pass")
+    args = parser.parse_args(argv)
+
+    clients = 8 if args.quick else args.clients
+    question_cap = args.questions if args.questions else (25 if args.quick else None)
+    questions = build_questions(args.question_set, question_cap)
+
+    shutdown = None
+    if args.url:
+        base_url = args.url.rstrip("/")
+    else:
+        print(f"self-hosting server (dataset={args.dataset}) ...")
+        base_url, shutdown = start_local_server(args.dataset)
+    try:
+        payload = run_load_test(base_url, clients, questions)
+    finally:
+        if shutdown is not None:
+            shutdown()
+    payload["question_set"] = args.question_set
+
+    if args.output:
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nbenchmark written to {args.output}")
+
+    rc = 0
+    total_errors = sum(p["errors"] for p in payload["passes"].values())
+    if total_errors:
+        print(f"error: {total_errors} request(s) failed", file=sys.stderr)
+        rc = 1
+    if args.min_speedup is not None:
+        speedup = payload["concurrent_speedup"] or 0.0
+        if speedup < args.min_speedup:
+            print(f"error: concurrent speedup {speedup}x below required "
+                  f"{args.min_speedup}x", file=sys.stderr)
+            rc = 1
+    if args.check:
+        rc = max(rc, check_regression(payload, Path(args.check), args.max_regression))
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

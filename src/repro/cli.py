@@ -6,8 +6,10 @@ Usage::
     python -m repro --trace ask "Who is the mayor of Berlin?"  # span tree
     python -m repro --trace-json trace.json ask "..."          # JSON export
     python -m repro shell                 # interactive question loop
+    python -m repro serve --port 8765     # warm engine as a JSON HTTP service
     python -m repro sparql "SELECT ?x WHERE { ?x <ont:mayor> ?y }"
     python -m repro eval                  # the QALD benchmark summary
+    python -m repro eval --served         # same benchmark through the engine
     python -m repro dictionary            # mined paraphrase dictionary
 """
 
@@ -29,6 +31,48 @@ def _build_system(args) -> GAnswer:
         k=args.k,
         enable_aggregation=args.aggregation,
     )
+
+
+def _synthetic_setup():
+    """The synthetic serving scenario: a generated KG plus a dictionary
+    mined from a scaled phrase dataset (mirrors scripts/perf_baseline.py's
+    scenario so serving and kernel baselines describe the same graph).
+    """
+    from repro.datasets import SyntheticConfig, build_phrase_dataset, build_synthetic_kg
+    from repro.datasets.patty_sim import scale_phrase_dataset
+    from repro.datasets.synthetic import entity_pool
+    from repro.paraphrase import ParaphraseMiner
+
+    kg = build_synthetic_kg(
+        SyntheticConfig(entities=1000, triples_per_entity=4, predicates=30)
+    )
+    dataset = scale_phrase_dataset(build_phrase_dataset(), 100, 5, entity_pool(kg))
+    dictionary = ParaphraseMiner(kg, max_path_length=4, top_k=3).mine(dataset)
+    return kg, dictionary
+
+
+def _build_engine(args):
+    """A warm :class:`repro.serve.QAEngine` from serve-flavored CLI args."""
+    from repro.serve import EngineConfig, QAEngine
+
+    if getattr(args, "dataset", "dbpedia-mini") == "synthetic":
+        kg, dictionary = _synthetic_setup()
+    else:
+        setup = default_setup(args.distractors, jobs=args.jobs)
+        kg, dictionary = setup.kg, setup.dictionary
+    config = EngineConfig(
+        k=args.k,
+        pool_size=getattr(args, "pool_size", 4),
+        queue_limit=getattr(args, "queue_limit", 12),
+        deadline_s=getattr(args, "deadline", 10.0) or None,
+        cache_size=getattr(args, "cache_size", 1024),
+        cache_ttl_s=getattr(args, "cache_ttl", 300.0),
+        degrade_pressure=getattr(args, "degrade_pressure", 0.75),
+        enable_aggregation=args.aggregation,
+    )
+    engine = QAEngine(kg, dictionary, config)
+    engine.warm()
+    return engine
 
 
 def _print_answer(result) -> None:
@@ -64,16 +108,45 @@ def cmd_ask(args) -> int:
 
 
 def cmd_shell(args) -> int:
-    system = _build_system(args)
+    # One warm engine for the whole loop: the KG, dictionary, linker index
+    # and kernel are built exactly once, and repeated questions hit the
+    # answer cache — the shell shares the server's serving path.
+    engine = _build_engine(args)
     print("gAnswer shell over the mini-DBpedia KG.  Empty line to exit.")
-    while True:
-        try:
-            question = input("? ").strip()
-        except (EOFError, KeyboardInterrupt):
-            break
-        if not question:
-            break
-        _print_answer(system.answer(question))
+    try:
+        while True:
+            try:
+                question = input("? ").strip()
+            except (EOFError, KeyboardInterrupt):
+                break
+            if not question:
+                break
+            _print_answer(engine.ask_answer(question))
+    finally:
+        engine.close()
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import build_server
+
+    engine = _build_engine(args)
+    server = build_server(engine, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"repro serve listening on http://{host}:{port} "
+        f"(dataset={args.dataset}, pool={engine.config.pool_size}, "
+        f"capacity={engine.admission.capacity}, store v{engine.store_version})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        engine.close()
     return 0
 
 
@@ -97,9 +170,19 @@ def cmd_sparql(args) -> int:
 def cmd_eval(args) -> int:
     from repro.datasets import qald_questions
     from repro.eval import evaluate_system, format_table
+    from repro.eval.harness import evaluate_engine
 
-    system = _build_system(args)
-    run = evaluate_system(system, qald_questions(), "gAnswer (repro)")
+    if args.served:
+        # Same questions through the serving engine's full request path
+        # (pool, admission, cache) — the summary must match the direct run.
+        engine = _build_engine(args)
+        try:
+            run = evaluate_engine(engine, qald_questions(), "gAnswer (served)")
+        finally:
+            engine.close()
+    else:
+        system = _build_system(args)
+        run = evaluate_system(system, qald_questions(), "gAnswer (repro)")
     summary = run.summary
     print(
         format_table(
@@ -176,12 +259,53 @@ def build_parser() -> argparse.ArgumentParser:
     shell = commands.add_parser("shell", help="interactive question loop")
     shell.set_defaults(func=cmd_shell)
 
+    serve = commands.add_parser(
+        "serve", help="run the warm QA engine as a JSON HTTP service"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--dataset", choices=("dbpedia-mini", "synthetic"), default="dbpedia-mini",
+        help="knowledge graph to serve (synthetic = the perf-baseline scenario)",
+    )
+    serve.add_argument(
+        "--pool-size", type=int, default=4, help="answering worker threads"
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=12,
+        help="requests allowed to wait beyond the pool (excess → HTTP 429)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=10.0,
+        help="default per-request budget in seconds (0 disables)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="answer cache entries (0 disables caching)",
+    )
+    serve.add_argument(
+        "--cache-ttl", type=float, default=300.0, help="answer cache TTL seconds"
+    )
+    serve.add_argument(
+        "--degrade-pressure", type=float, default=0.75,
+        help="admission occupancy in [0,1] past which requests are answered "
+        "in degraded mode (smaller k, trimmed candidates); 1.0 disables",
+    )
+    serve.set_defaults(func=cmd_serve)
+
     sparql = commands.add_parser("sparql", help="run a SPARQL query on the KG")
     sparql.add_argument("query")
     sparql.set_defaults(func=cmd_sparql)
 
     evaluate = commands.add_parser("eval", help="run the QALD benchmark")
     evaluate.add_argument("--failures", action="store_true", help="show failure classes")
+    evaluate.add_argument(
+        "--served", action="store_true",
+        help="run every question through the warm QAEngine (pool + cache) "
+        "instead of a direct pipeline — accuracy must be identical",
+    )
     evaluate.set_defaults(func=cmd_eval)
 
     dictionary = commands.add_parser("dictionary", help="show the mined dictionary")

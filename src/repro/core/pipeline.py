@@ -96,6 +96,10 @@ class Answer:
     rules_used: frozenset[str] = frozenset()
     understanding_time: float = 0.0
     evaluation_time: float = 0.0
+    #: How the primary component's top-k search ended (see TopKResult);
+    #: ``"deadline"`` marks a partial result cut short by a per-request
+    #: deadline — the serving layer surfaces it to clients.
+    terminated_by: str | None = None
 
     @property
     def total_time(self) -> float:
@@ -125,6 +129,11 @@ class GAnswer:
     enable_aggregation:
         Opt-in extension: superlative post-processing (the paper lists
         aggregation support as future work; off by default to match it).
+    candidate_limit:
+        When set, vertex and edge candidate lists are trimmed to the best
+        ``candidate_limit`` entries after mapping — the serving layer's
+        graceful-degradation knob: narrower lists cost recall, not
+        correctness of what is returned.
     """
 
     def __init__(
@@ -137,14 +146,18 @@ class GAnswer:
         use_pruning: bool = True,
         enable_aggregation: bool = False,
         linker: EntityLinker | None = None,
+        candidate_limit: int | None = None,
         tracer=None,
     ):
         if k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
+        if candidate_limit is not None and candidate_limit < 1:
+            raise ValueError("candidate_limit must be positive when set")
         self.kg = kg
         self.dictionary = dictionary
         self.k = k
         self.enable_aggregation = enable_aggregation
+        self.candidate_limit = candidate_limit
         self.tracer = tracer
         self.parser = DependencyParser()
         self.extractor = RelationExtractor(dictionary)
@@ -156,9 +169,20 @@ class GAnswer:
     # Public API
     # ------------------------------------------------------------------ #
 
-    def answer(self, question: str) -> Answer:
-        """Answer a natural language question."""
-        tracer = self.tracer if self.tracer is not None else obs.get_tracer()
+    def answer(
+        self, question: str, tracer=None, deadline: float | None = None
+    ) -> Answer:
+        """Answer a natural language question.
+
+        ``tracer`` overrides the instance/process tracer for this call
+        (the serving layer passes a per-request tracer so concurrent
+        requests never share a span stack).  ``deadline`` is an absolute
+        :func:`time.monotonic` instant threaded into the top-k search;
+        when it expires the answer is built from the partial matches found
+        so far and ``terminated_by`` reads ``"deadline"``.
+        """
+        if tracer is None:
+            tracer = self.tracer if self.tracer is not None else obs.get_tracer()
         result = Answer(question=question)
         with tracer.span("answer", question=question) as root:
             with tracer.span("understanding") as span:
@@ -171,7 +195,7 @@ class GAnswer:
             result.semantic_graph = graph
 
             with tracer.span("evaluation") as span:
-                self._evaluate(graph, result, tracer)
+                self._evaluate(graph, result, tracer, deadline)
             result.evaluation_time = span.duration
             if result.analysis.is_aggregation:
                 if self.enable_aggregation:
@@ -249,10 +273,16 @@ class GAnswer:
     # ------------------------------------------------------------------ #
 
     def _evaluate(
-        self, graph: SemanticQueryGraph, result: Answer, tracer=obs.NOOP
+        self,
+        graph: SemanticQueryGraph,
+        result: Answer,
+        tracer=obs.NOOP,
+        deadline: float | None = None,
     ) -> None:
         with tracer.span("candidate_mapping") as span:
             space = self.mapper.build_candidate_space(graph, tracer=tracer)
+            if self.candidate_limit is not None:
+                self._degrade_space(space, tracer)
             span.set(vertices=len(space.vertices), edges=len(space.edges))
         for vertex_id, query_vertex in space.vertices.items():
             if not query_vertex.wildcard and not query_vertex.candidates:
@@ -266,8 +296,13 @@ class GAnswer:
         # components act as existence constraints.
         components.sort(key=lambda c: 0 if primary_id in c.vertices else 1)
         per_component: list[list[GraphMatch]] = []
-        for component in components:
-            found = self.searcher.search(component, tracer=tracer)
+        for position, component in enumerate(components):
+            found = self.searcher.search(component, tracer=tracer, deadline=deadline)
+            if position == 0 or found.terminated_by == "deadline":
+                # The primary component attributes the search outcome;
+                # a deadline expiry anywhere overrides it (the answer is
+                # partial no matter which component was cut short).
+                result.terminated_by = found.terminated_by
             if not found.matches:
                 if targets:
                     result.failure = FAILURE_NO_MATCH
@@ -314,6 +349,26 @@ class GAnswer:
                     for match in result.matches[: self.k]
                 ]
                 span.set(queries=len(result.sparql_queries))
+
+    def _degrade_space(self, space, tracer=obs.NOOP) -> None:
+        """Trim candidate lists to the configured ``candidate_limit``.
+
+        Lists are already confidence-sorted, so trimming keeps the best
+        mappings; dropped tail candidates can only lose low-confidence
+        matches, never corrupt the ones that remain.
+        """
+        limit = self.candidate_limit
+        trimmed = 0
+        for vertex in space.vertices.values():
+            if len(vertex.candidates) > limit:
+                trimmed += len(vertex.candidates) - limit
+                vertex.candidates = vertex.candidates[:limit]
+        for edge in space.edges:
+            if len(edge.candidates) > limit:
+                trimmed += len(edge.candidates) - limit
+                edge.candidates = edge.candidates[:limit]
+        if trimmed:
+            tracer.metrics.incr("mapping.candidates_degraded", trimmed)
 
     def _target_vertices(self, graph: SemanticQueryGraph):
         return target_vertices(graph)

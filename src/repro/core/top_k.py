@@ -20,6 +20,7 @@ Ties at the k-th score are all returned (the paper's footnote 4).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 
 from repro import obs
@@ -42,13 +43,17 @@ class TopKResult:
     * ``"pruned_empty"`` — neighborhood pruning emptied a candidate list
       before any seeding happened;
     * ``"empty"`` — a candidate list was already empty before pruning
-      (the query was unsatisfiable as mapped).
+      (the query was unsatisfiable as mapped);
+    * ``"deadline"`` — a per-request deadline expired mid-search; the
+      matches found so far are returned as a *partial* top-k (the serving
+      layer's cooperative timeout, not a correctness stop).
     """
 
     matches: list[GraphMatch] = field(default_factory=list)
     seeds_explored: int = 0
     candidates_pruned: int = 0
-    terminated_by: str = "empty"  # "threshold"|"exhausted"|"pruned_empty"|"empty"
+    #: "threshold"|"exhausted"|"pruned_empty"|"empty"|"deadline"
+    terminated_by: str = "empty"
     #: (depth, θ, Upbound) steps recorded per TA round under a recording
     #: tracer — how fast the Equation 3 bound closed on the threshold.
     ta_trajectory: list[dict] = field(default_factory=list)
@@ -90,14 +95,22 @@ class TopKSearch:
 
     # ------------------------------------------------------------------ #
 
-    def search(self, space: CandidateSpace, tracer=None) -> TopKResult:
-        """Top-k matches of a connected candidate space."""
+    def search(
+        self, space: CandidateSpace, tracer=None, deadline: float | None = None
+    ) -> TopKResult:
+        """Top-k matches of a connected candidate space.
+
+        ``deadline`` is an absolute :func:`time.monotonic` instant.  The
+        search checks it cooperatively between seed explorations: once it
+        passes, seeding stops and the matches collected so far come back
+        with ``terminated_by="deadline"`` — a partial (but valid) top-k.
+        """
         if tracer is None:
             tracer = self.tracer if self.tracer is not None else obs.get_tracer()
         with tracer.span(
             "top_k.search", vertices=len(space.vertices), edges=len(space.edges)
         ) as span:
-            result, matcher = self._search(space, tracer)
+            result, matcher = self._search(space, tracer, deadline)
             metrics = tracer.metrics
             metrics.incr("top_k.searches")
             metrics.incr("top_k.seeds_explored", result.seeds_explored)
@@ -121,7 +134,7 @@ class TopKSearch:
         return result
 
     def _search(
-        self, space: CandidateSpace, tracer
+        self, space: CandidateSpace, tracer, deadline: float | None = None
     ) -> tuple[TopKResult, SubgraphMatcher | None]:
         result = TopKResult()
         empty_before_pruning = space.has_empty_list()
@@ -153,8 +166,12 @@ class TopKSearch:
         depth = 0
         max_depth = max(len(candidates) for _v, candidates in seeded_lists)
         terminated = "exhausted"
+        expired = False
         while depth < max_depth:
             for vertex_id, candidates in seeded_lists:
+                if deadline is not None and time.monotonic() >= deadline:
+                    expired = True
+                    break
                 if depth >= len(candidates):
                     continue
                 result.seeds_explored += 1
@@ -162,6 +179,9 @@ class TopKSearch:
                     if match.key() not in seen:
                         seen.add(match.key())
                         collected.append(match)
+            if expired:
+                terminated = "deadline"
+                break
             depth += 1
             # A fully-consumed list means every match has been seeded.
             if any(depth >= len(candidates) for _v, candidates in seeded_lists):

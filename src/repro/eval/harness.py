@@ -111,6 +111,23 @@ def _stage_stats(times: list[float]) -> dict:
     }
 
 
+def evaluate_engine(
+    engine,
+    questions: list[QALDQuestion],
+    system_name: str = "gAnswer (served)",
+    tracer=None,
+) -> EvaluationRun:
+    """Run the evaluation through a serving engine's full request path.
+
+    ``engine`` is duck-typed as :class:`repro.serve.QAEngine` (anything
+    with ``as_system()``): every question goes through admission control,
+    the worker pool, and the answer cache — so this run exercises exactly
+    what production requests exercise, and its summary must match a
+    direct-pipeline :func:`evaluate_system` run on the same questions.
+    """
+    return evaluate_system(engine.as_system(), questions, system_name, tracer)
+
+
 def evaluate_system(
     system: SystemLike,
     questions: list[QALDQuestion],

@@ -160,10 +160,27 @@ class DependencyTree:
             raise ValueError("tree does not span all nodes")
 
 
-def attach(child: DependencyNode, head: DependencyNode, deprel: str) -> None:
-    """Attach ``child`` under ``head`` with the given relation."""
+def attach(child: DependencyNode, head: DependencyNode, deprel: str) -> bool:
+    """Attach ``child`` under ``head`` with the given relation.
+
+    Refuses (returning False, tree unchanged) when ``head`` lies in
+    ``child``'s subtree or equals it: that attachment would create a cycle,
+    and every traversal from then on — including the parser's own later
+    passes — would recurse forever.  Degenerate word salad can steer the
+    rule passes into exactly that ("how by U.S. which me ..."); the node is
+    left unattached instead, and :meth:`DependencyTree.validate` reports
+    the leftover as a :class:`ParseError`-able structure.
+    """
+    if head is child:
+        return False
+    ancestor = head
+    while ancestor is not None:
+        if ancestor is child:
+            return False
+        ancestor = ancestor.head
     if child.head is not None:
         child.head.children.remove(child)
     child.head = head
     child.deprel = deprel
     head.children.append(child)
+    return True

@@ -5,42 +5,57 @@ histogram keeps every observed value ("bfs_frontier" sizes) and summarizes
 them on snapshot.  Names are dotted strings namespaced by subsystem —
 ``top_k.seeds_explored``, ``mining.paths_enumerated`` — listed in
 docs/observability.md.
+
+:class:`Metrics` is thread-safe: the serving layer increments one shared
+registry from every worker thread, and an unguarded read-modify-write on a
+dict slot loses updates under that interleaving.  A single lock around the
+mutations keeps the hot path cheap (one uncontended acquire) and the
+snapshot consistent.
 """
 
 from __future__ import annotations
 
+import threading
+
 
 class Metrics:
-    """A recording registry of counters and histograms."""
+    """A recording registry of counters and histograms (thread-safe)."""
 
-    __slots__ = ("counters", "histograms")
+    __slots__ = ("counters", "histograms", "_lock")
 
     def __init__(self) -> None:
         self.counters: dict[str, float] = {}
         self.histograms: dict[str, list[float]] = {}
+        self._lock = threading.Lock()
 
     def incr(self, name: str, amount: float = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + amount
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     def observe(self, name: str, value: float) -> None:
-        self.histograms.setdefault(name, []).append(value)
+        with self._lock:
+            self.histograms.setdefault(name, []).append(value)
 
     def counter(self, name: str) -> float:
         return self.counters.get(name, 0)
 
     def snapshot(self) -> dict:
         """JSON-ready view: raw counters, summarized histograms."""
+        with self._lock:
+            counters = dict(self.counters)
+            histograms = {name: list(values) for name, values in self.histograms.items()}
         return {
-            "counters": dict(sorted(self.counters.items())),
+            "counters": dict(sorted(counters.items())),
             "histograms": {
                 name: _summarize(values)
-                for name, values in sorted(self.histograms.items())
+                for name, values in sorted(histograms.items())
             },
         }
 
     def reset(self) -> None:
-        self.counters.clear()
-        self.histograms.clear()
+        with self._lock:
+            self.counters.clear()
+            self.histograms.clear()
 
 
 class NoopMetrics:

@@ -22,6 +22,7 @@ backs every hot path here — and are re-exported for compatibility.)
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from enum import Enum
 from typing import Iterator
@@ -92,6 +93,7 @@ class KnowledgeGraph:
 
     def __init__(self, store: TripleStore):
         self.store = store
+        self._kernel_lock = threading.Lock()
         self._kernel: AdjacencyKernel | None = None
         self._class_ids: set[int] | None = None
         self._label_index: dict[int, str] | None = None
@@ -108,7 +110,8 @@ class KnowledgeGraph:
         everything hanging off it: the walk-path LRU, the incident-step
         signatures, and the mining scratch regions.
         """
-        self._kernel = None
+        with self._kernel_lock:
+            self._kernel = None
         self._class_ids = None
         self._label_index = None
         self._literals_by_lexical = None
@@ -123,10 +126,25 @@ class KnowledgeGraph:
 
     @property
     def kernel(self) -> AdjacencyKernel:
-        """The compact adjacency index for the store's current version."""
-        if self._kernel is None:
-            self._kernel = AdjacencyKernel(self.store)
-        return self._kernel
+        """The compact adjacency index for the store's current version.
+
+        Construction is guarded by a lock so concurrent first accesses (the
+        serving layer answers questions from a thread pool) build exactly
+        one kernel — two racing builds would each be correct but would
+        split the walk-path LRU and the memoized signatures between them.
+        """
+        kernel = self._kernel
+        if kernel is None:
+            with self._kernel_lock:
+                kernel = self._kernel
+                if kernel is None:
+                    kernel = self._kernel = AdjacencyKernel(self.store)
+        return kernel
+
+    @property
+    def store_version(self) -> int:
+        """The underlying store's mutation counter (see TripleStore.version)."""
+        return self.store.version
 
     @property
     def structural_predicate_ids(self) -> frozenset[int]:

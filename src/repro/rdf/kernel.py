@@ -27,10 +27,22 @@ for store-version-scoped memoization.
 The kernel is immutable: it never observes store mutation.
 :meth:`repro.rdf.graph.KnowledgeGraph.refresh` drops it (and every cache
 hanging off it) so the next access rebuilds against the current triples.
+``store_version`` stamps the :class:`TripleStore` mutation counter the
+kernel was built from, so derived artifacts (the serving layer's answer
+cache) can key themselves to one store generation.
+
+Thread safety: the index itself is immutable after construction and safe
+to read from any number of threads.  The memoization layers are safe too —
+``walk_path`` is an ``functools.lru_cache`` (internally locked),
+``incident_steps``/``entity_adjacency`` publish fully-built immutable
+values into a dict (the worst interleaving recomputes a value, never
+exposes a partial one), and the named scratch regions guard their
+create/clear bookkeeping with a lock.
 """
 
 from __future__ import annotations
 
+import threading
 from functools import lru_cache
 from typing import Iterator
 
@@ -85,6 +97,7 @@ class AdjacencyKernel:
 
     __slots__ = (
         "store",
+        "store_version",
         "structural_predicate_ids",
         "type_id",
         "subclass_id",
@@ -93,11 +106,13 @@ class AdjacencyKernel:
         "_entity",
         "_signatures",
         "_regions",
+        "_region_lock",
         "walk_path",
     )
 
     def __init__(self, store: TripleStore):
         self.store = store
+        self.store_version = store.version
         lookup = store.dictionary.lookup_or_none
         self.type_id: int | None = lookup(vocab.RDF_TYPE)
         self.subclass_id: int | None = lookup(vocab.RDFS_SUBCLASSOF)
@@ -112,6 +127,7 @@ class AdjacencyKernel:
         self._build()
         self._signatures: dict[int, frozenset[int]] = {}
         self._regions: dict[str, dict] = {}
+        self._region_lock = threading.Lock()
         self.walk_path = lru_cache(maxsize=_WALK_CACHE_SIZE)(self._walk_path)
 
     # ------------------------------------------------------------------ #
@@ -251,13 +267,16 @@ class AdjacencyKernel:
         Dropped with the kernel on :meth:`KnowledgeGraph.refresh`, so a
         cached value can never outlive the store version it was computed
         from.  Regions self-clear past ``_REGION_CAP`` entries to bound
-        memory on large mining runs.
+        memory on large mining runs; creation and the clear decision are
+        lock-guarded so concurrent callers never clear a region another
+        thread is mid-way through populating for the same lookup.
         """
-        region = self._regions.get(name)
-        if region is None:
-            region = self._regions[name] = {}
-        elif len(region) > _REGION_CAP:
-            region.clear()
+        with self._region_lock:
+            region = self._regions.get(name)
+            if region is None:
+                region = self._regions[name] = {}
+            elif len(region) > _REGION_CAP:
+                region.clear()
         return region
 
     def statistics(self) -> dict[str, int]:

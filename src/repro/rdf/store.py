@@ -40,6 +40,17 @@ class TripleStore:
         self._osp: dict[int, dict[int, set[int]]] = {}
         self._size = 0
         self._literal_ids: set[int] = set()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter: bumps on every successful add/remove.
+
+        Anything derived from the store's contents — the adjacency kernel,
+        the serving layer's answer cache — keys or stamps itself with this
+        value, so a stale derivation is detectable by a plain int compare.
+        """
+        return self._version
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -66,6 +77,7 @@ class TripleStore:
         self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
         self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
         self._size += 1
+        self._version += 1
         return True
 
     def remove(self, triple: Triple) -> bool:
@@ -85,6 +97,7 @@ class TripleStore:
         self._prune_empty(self._pos, p, o)
         self._prune_empty(self._osp, o, s)
         self._size -= 1
+        self._version += 1
         return True
 
     @staticmethod

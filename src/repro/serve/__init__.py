@@ -1,0 +1,32 @@
+"""Resident serving layer over the GAnswer pipeline.
+
+The paper splits work into an offline phase (paraphrase-dictionary
+mining) and an online phase that must answer interactively (Section 1,
+Table 11).  This package is the online phase as a *service*: one warm
+:class:`QAEngine` holding the knowledge graph, dictionary, linker index
+and adjacency kernel, a bounded worker pool with admission control and
+per-request deadlines, versioned answer/link caches, and a stdlib-only
+JSON HTTP transport (:mod:`repro.serve.server`).
+
+Entry points: ``repro serve`` (CLI), :func:`QAEngine.ask` (in-process),
+``scripts/load_test.py`` (benchmark → ``BENCH_serve.json``).
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionRejected
+from repro.serve.cache import CachingLinker, TTLCache, answer_cache_key, normalize_question
+from repro.serve.engine import EngineConfig, QAEngine, ServedSystem
+from repro.serve.server import QAServer, build_server
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "CachingLinker",
+    "EngineConfig",
+    "QAEngine",
+    "QAServer",
+    "ServedSystem",
+    "TTLCache",
+    "answer_cache_key",
+    "build_server",
+    "normalize_question",
+]

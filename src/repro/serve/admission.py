@@ -1,0 +1,132 @@
+"""Admission control: a bounded in-flight budget with 429 backpressure.
+
+The engine's worker pool has ``pool_size`` threads; the admission
+controller lets at most ``pool_size + queue_limit`` requests exist at once
+(running + waiting for a worker).  Everything beyond that is rejected
+*immediately* with :class:`AdmissionRejected` — the transport maps it to
+HTTP 429 — instead of growing an unbounded executor queue whose tail
+latency the client would pay anyway.
+
+``pressure()`` exposes current occupancy in [0, 1]; the engine reads it to
+decide when to answer in degraded mode (smaller k, narrower candidate
+lists).  Queue-depth and slot-hold-time histograms go to the engine's
+metrics registry (``serve.queue_depth``, ``serve.in_flight_ms``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.obs.metrics import NoopMetrics
+
+
+class AdmissionRejected(Exception):
+    """Raised when the bounded request budget is exhausted (HTTP 429)."""
+
+    def __init__(self, capacity: int, in_flight: int):
+        super().__init__(
+            f"admission queue full: {in_flight} in flight, capacity {capacity}"
+        )
+        self.capacity = capacity
+        self.in_flight = in_flight
+
+
+class AdmissionController:
+    """Counts in-flight requests against a hard capacity.
+
+    Use as a context manager per request::
+
+        with admission.admit():      # raises AdmissionRejected when full
+            ... answer the question ...
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        metrics=None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self.metrics = metrics if metrics is not None else NoopMetrics()
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._peak = 0
+
+    # ------------------------------------------------------------------ #
+
+    def admit(self) -> "_AdmissionToken":
+        """Reserve one slot or raise :class:`AdmissionRejected`."""
+        with self._lock:
+            if self._in_flight >= self.capacity:
+                self._rejected += 1
+                self.metrics.incr("serve.rejected")
+                raise AdmissionRejected(self.capacity, self._in_flight)
+            self._in_flight += 1
+            self._admitted += 1
+            self._peak = max(self._peak, self._in_flight)
+            depth = self._in_flight
+        self.metrics.observe("serve.queue_depth", depth)
+        return _AdmissionToken(self)
+
+    def _release(self) -> None:
+        with self._lock:
+            self._in_flight -= 1
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def pressure(self) -> float:
+        """Occupancy of the admission budget in [0, 1] (1 = saturated)."""
+        with self._lock:
+            if self.capacity == 0:
+                return 1.0
+            return self._in_flight / self.capacity
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "in_flight": self._in_flight,
+                "peak_in_flight": self._peak,
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+            }
+
+
+class _AdmissionToken:
+    """Releases the reserved slot exactly once, with-block or manual."""
+
+    __slots__ = ("_controller", "_released", "_admitted_at")
+
+    def __init__(self, controller: AdmissionController):
+        self._controller = controller
+        self._released = False
+        self._admitted_at = controller.clock()
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            controller = self._controller
+            controller.metrics.observe(
+                "serve.in_flight_ms",
+                (controller.clock() - self._admitted_at) * 1000.0,
+            )
+            controller._release()
+
+    def __enter__(self) -> "_AdmissionToken":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False

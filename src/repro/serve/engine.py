@@ -1,0 +1,402 @@
+"""The warm QA engine: one long-lived pipeline amortized across requests.
+
+The paper's online phase (Section 4.2, Table 11) answers in sub-second
+time *because* everything expensive — the paraphrase dictionary, the
+linker's label index, the adjacency kernel — was built offline.  The
+one-shot CLI pays that setup on every invocation; :class:`QAEngine` pays
+it once at startup and then serves questions from a bounded thread pool:
+
+* **warm state** — knowledge graph, mined dictionary, entity-linker index
+  and adjacency kernel are constructed (and exercised) in :meth:`warm`;
+* **caching** — answers and entity-link candidates are cached under keys
+  that include the store version and a config fingerprint
+  (:mod:`repro.serve.cache`), so `KnowledgeGraph.refresh()` after a store
+  mutation invalidates by construction;
+* **admission control** — at most ``pool_size + queue_limit`` requests in
+  flight; beyond that :class:`AdmissionRejected` (HTTP 429 upstream);
+* **deadlines** — a per-request budget threaded into the top-k search,
+  which stops cooperatively and returns partial top-k with
+  ``terminated_by="deadline"``;
+* **degradation** — past a pressure threshold requests are answered by a
+  degraded pipeline (smaller k, trimmed candidate lists) and marked
+  ``degraded: true``.
+
+Each request runs under its own tracer (or the no-op), never the
+process-wide default: the recording :class:`~repro.obs.Tracer` keeps a
+span *stack* and is single-threaded by design.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.core.pipeline import Answer, GAnswer
+from repro.linking.linker import EntityLinker
+from repro.obs.metrics import Metrics
+from repro.paraphrase.dictionary import ParaphraseDictionary
+from repro.rdf.graph import KnowledgeGraph
+from repro.serve.admission import AdmissionController, AdmissionRejected
+from repro.serve.cache import CachingLinker, TTLCache, answer_cache_key
+
+__all__ = ["EngineConfig", "QAEngine", "ServedSystem", "AdmissionRejected"]
+
+
+@dataclass(frozen=True, slots=True)
+class EngineConfig:
+    """Tunables of one serving engine (all surfaced as CLI flags)."""
+
+    k: int = 10                       # top-k matches per question
+    pool_size: int = 4                # worker threads answering questions
+    queue_limit: int = 12             # extra requests allowed to wait
+    deadline_s: float | None = 10.0   # default per-request budget (None = off)
+    cache_size: int = 1024            # answer cache entries (0 disables)
+    cache_ttl_s: float = 300.0        # answer cache TTL
+    link_cache_size: int = 4096       # entity-link candidate cache entries
+    link_cache_ttl_s: float = 600.0   # link cache TTL
+    degrade_pressure: float = 0.75    # admission occupancy that triggers degradation
+    degraded_k: int = 3               # top-k under degradation
+    degraded_candidate_limit: int = 3  # candidate-list width under degradation
+    enable_aggregation: bool = False  # superlative post-processing extension
+
+    def __post_init__(self) -> None:
+        if self.pool_size < 1:
+            raise ValueError("pool_size must be at least 1")
+        if self.queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        if not 0.0 <= self.degrade_pressure <= 1.0:
+            raise ValueError("degrade_pressure must be in [0, 1]")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive when set")
+
+    def fingerprint(self) -> str:
+        """Stable digest of every knob that changes *answers* (cache key part)."""
+        return (
+            f"k={self.k};agg={int(self.enable_aggregation)};"
+            f"dk={self.degraded_k};dcl={self.degraded_candidate_limit}"
+        )
+
+
+@dataclass(slots=True)
+class EngineResult:
+    """What the engine computed for one question (the cacheable part)."""
+
+    answer: Answer
+    degraded: bool = False
+    #: Monotonic timestamp of computation — informational only; freshness
+    #: is enforced by the answer cache's own TTL clock.
+    computed_at: float = field(default_factory=time.monotonic)
+
+
+class QAEngine:
+    """A resident :class:`GAnswer` wrapper serving many questions.
+
+    Parameters
+    ----------
+    kg, dictionary:
+        The warm offline state: knowledge graph and mined paraphrase
+        dictionary (share them with the offline miner / evaluation).
+    config:
+        An :class:`EngineConfig`; defaults serve interactive workloads.
+    """
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        dictionary: ParaphraseDictionary,
+        config: EngineConfig | None = None,
+    ):
+        self.config = config if config is not None else EngineConfig()
+        self.kg = kg
+        self.dictionary = dictionary
+        self.metrics = Metrics()
+        self.answer_cache = TTLCache(
+            maxsize=self.config.cache_size,
+            ttl=self.config.cache_ttl_s,
+            metrics=self.metrics,
+            name="serve.cache",
+        )
+        self.link_cache = TTLCache(
+            maxsize=self.config.link_cache_size,
+            ttl=self.config.link_cache_ttl_s,
+            metrics=self.metrics,
+            name="serve.link_cache",
+        )
+        self.linker = CachingLinker(EntityLinker(kg), self.link_cache, kg.store)
+        self._system = GAnswer(
+            kg,
+            dictionary,
+            k=self.config.k,
+            enable_aggregation=self.config.enable_aggregation,
+            linker=self.linker,
+        )
+        self._degraded_system = GAnswer(
+            kg,
+            dictionary,
+            k=self.config.degraded_k,
+            enable_aggregation=self.config.enable_aggregation,
+            linker=self.linker,
+            candidate_limit=self.config.degraded_candidate_limit,
+        )
+        self.admission = AdmissionController(
+            capacity=self.config.pool_size + self.config.queue_limit,
+            metrics=self.metrics,
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.pool_size, thread_name_prefix="qa-engine"
+        )
+        self._trace_ids = itertools.count(1)
+        self._started_at = time.monotonic()
+        self._ready = False
+        self._closed = False
+        self._warm_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def warm(self) -> dict:
+        """Build every lazy structure the first request would otherwise pay.
+
+        Touches the adjacency kernel, the class set, the label index, and
+        the linker's label index; returns the kernel statistics so callers
+        (the CLI, /healthz diagnostics) can report the warmed footprint.
+        Idempotent and safe to call concurrently.
+        """
+        with self._warm_lock:
+            with self.metrics_span("serve.warmup"):
+                kernel = self.kg.kernel
+                _ = self.kg.class_ids
+                _ = self.kg.label_index
+                _ = self.linker.index  # builds the wrapped linker's LabelIndex
+                stats = kernel.statistics()
+            self._ready = True
+            return stats
+
+    def metrics_span(self, name: str):
+        """A duration observation recorded as ``{name}_ms`` on exit."""
+        engine = self
+
+        class _Timed:
+            def __enter__(self):
+                self._started = time.monotonic()
+                return self
+
+            def __exit__(self, exc_type, exc, tb):
+                engine.metrics.observe(
+                    f"{name}_ms", (time.monotonic() - self._started) * 1000.0
+                )
+                return False
+
+        return _Timed()
+
+    @property
+    def ready(self) -> bool:
+        return self._ready and not self._closed
+
+    @property
+    def store_version(self) -> int:
+        return self.kg.store_version
+
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started_at
+
+    def refresh(self) -> None:
+        """Re-derive graph caches after a store mutation.
+
+        The answer/link caches need no flush: their keys carry the store
+        version, so entries computed before the mutation can no longer be
+        looked up.
+        """
+        self.kg.refresh()
+
+    def close(self) -> None:
+        self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QAEngine":
+        self.warm()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+
+    def ask(
+        self,
+        question: str,
+        deadline_s: float | None = None,
+        trace: bool = False,
+    ) -> dict:
+        """Answer one question through admission control and the pool.
+
+        Returns the JSON-ready response dict (see :meth:`_render`).
+        Raises :class:`AdmissionRejected` when the request budget is full.
+        """
+        with self.admission.admit():
+            future = self._submit(question, deadline_s, trace)
+            result, tracer, from_cache = future.result()
+        return self._render(result, tracer, from_cache)
+
+    def batch(
+        self, questions: list[str], deadline_s: float | None = None
+    ) -> list[dict]:
+        """Fan a list of questions out over the pool; one response per
+        question, in order.  Questions the admission budget rejects come
+        back as ``{"error": "busy"}`` entries instead of failing the batch.
+        """
+        pending: list[tuple[Future | None, object | None]] = []
+        for question in questions:
+            try:
+                token = self.admission.admit()
+            except AdmissionRejected:
+                pending.append((None, None))
+                continue
+            pending.append((self._submit(question, deadline_s, False), token))
+        responses: list[dict] = []
+        for future, token in pending:
+            if future is None:
+                responses.append({"error": "busy", "status": 429})
+                continue
+            try:
+                result, tracer, from_cache = future.result()
+                responses.append(self._render(result, tracer, from_cache))
+            finally:
+                token.release()
+        return responses
+
+    def ask_answer(self, question: str, deadline_s: float | None = None) -> Answer:
+        """The raw pipeline :class:`Answer` through the warm path.
+
+        The interactive shell and the served evaluation adapter use this:
+        same admission, pool, cache, and degradation behavior as
+        :meth:`ask`, but the caller gets term objects instead of strings.
+        Treat the result as read-only — cached answers are shared.
+        """
+        with self.admission.admit():
+            result, _tracer, _cached = self._submit(question, deadline_s, False).result()
+        return result.answer
+
+    def as_system(self) -> "ServedSystem":
+        """An ``evaluate_system``-compatible adapter over this engine."""
+        return ServedSystem(self)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _submit(
+        self, question: str, deadline_s: float | None, trace: bool
+    ) -> Future:
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        return self._pool.submit(self._process, question, deadline_s, trace)
+
+    def _process(
+        self, question: str, deadline_s: float | None, trace: bool
+    ) -> tuple[EngineResult, "obs.Tracer | None", bool]:
+        started = time.monotonic()
+        self.metrics.incr("serve.requests")
+        key = answer_cache_key(
+            question, self.store_version, self.config.fingerprint()
+        )
+        cached = self.answer_cache.get(key)
+        if cached is not None:
+            self.metrics.observe(
+                "serve.latency_ms", (time.monotonic() - started) * 1000.0
+            )
+            return cached, None, True
+
+        degraded = self.admission.pressure() >= self.config.degrade_pressure
+        system = self._degraded_system if degraded else self._system
+        if degraded:
+            self.metrics.incr("serve.degraded")
+
+        budget = deadline_s if deadline_s is not None else self.config.deadline_s
+        deadline = None if budget is None else started + budget
+        tracer = obs.Tracer() if trace else obs.NOOP
+        answer = system.answer(question, tracer=tracer, deadline=deadline)
+
+        result = EngineResult(answer=answer, degraded=degraded)
+        if answer.terminated_by == "deadline":
+            self.metrics.incr("serve.deadline_expired")
+        elif not degraded:
+            # Partial (deadline-cut) and degraded answers are never cached:
+            # a later uncontended request should get the full-quality one.
+            self.answer_cache.put(key, result)
+        self.metrics.observe(
+            "serve.latency_ms", (time.monotonic() - started) * 1000.0
+        )
+        return result, (tracer if trace else None), False
+
+    def _render(self, result: EngineResult, tracer, from_cache: bool = False) -> dict:
+        """The JSON response body for one computed (or cached) result."""
+        answer = result.answer
+        response = {
+            "trace_id": f"req-{next(self._trace_ids)}",
+            "question": answer.question,
+            "answers": [str(term) for term in answer.answers],
+            "boolean": answer.boolean,
+            "processed": answer.processed,
+            "failure": answer.failure,
+            "terminated_by": answer.terminated_by,
+            "sparql": answer.sparql_queries[0] if answer.sparql_queries else None,
+            "degraded": result.degraded,
+            "cached": from_cache,
+            "store_version": self.store_version,
+            "timings_ms": {
+                "understanding": round(answer.understanding_time * 1000.0, 3),
+                "evaluation": round(answer.evaluation_time * 1000.0, 3),
+                "total": round(answer.total_time * 1000.0, 3),
+            },
+        }
+        if tracer is not None and tracer.enabled:
+            response["trace"] = tracer.summary()
+        return response
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> dict:
+        """The ``GET /stats`` body: caches, admission, kernel, store."""
+        return {
+            "store_version": self.store_version,
+            "uptime_s": round(self.uptime_s(), 3),
+            "ready": self.ready,
+            "config": {
+                "k": self.config.k,
+                "pool_size": self.config.pool_size,
+                "queue_limit": self.config.queue_limit,
+                "deadline_s": self.config.deadline_s,
+                "degrade_pressure": self.config.degrade_pressure,
+                "degraded_k": self.config.degraded_k,
+            },
+            "answer_cache": self.answer_cache.stats(),
+            "link_cache": self.link_cache.stats(),
+            "admission": self.admission.stats(),
+            "kernel": self.kg.kernel.statistics(),
+        }
+
+
+class ServedSystem:
+    """Adapter: the engine as an ``evaluate_system``-compatible system.
+
+    Each ``answer()`` goes through the engine's full serving path —
+    admission, pool, answer cache, degradation — so an evaluation run
+    through it exercises exactly what production requests exercise.
+    """
+
+    def __init__(self, engine: QAEngine):
+        self.engine = engine
+
+    def answer(self, question: str) -> Answer:
+        return self.engine.ask_answer(question)

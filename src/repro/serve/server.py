@@ -1,0 +1,194 @@
+"""Stdlib-only JSON HTTP transport over a :class:`QAEngine`.
+
+One thread per connection (``ThreadingHTTPServer``); actual answering
+concurrency is still bounded by the engine's worker pool + admission
+budget, so a thundering herd turns into fast 429s, not an overload.
+
+Routes::
+
+    POST /ask      {"question": str, "deadline_s"?: float, "trace"?: bool}
+    POST /batch    {"questions": [str, ...], "deadline_s"?: float}
+    GET  /healthz  liveness/readiness + store version
+    GET  /metrics  the engine's counters and histogram summaries
+    GET  /stats    caches, admission, kernel, config
+
+Error mapping: malformed body → 400, unknown route → 404, admission
+budget exhausted → 429 with a ``Retry-After`` hint.  Every response body
+is JSON, including errors (``{"error": ...}``).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.admission import AdmissionRejected
+from repro.serve.engine import QAEngine
+
+__all__ = ["QAServer", "build_server"]
+
+#: Cap on accepted request bodies — a question is a sentence, not a corpus.
+MAX_BODY_BYTES = 1 << 20
+
+
+class QAServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` that owns a reference to the engine."""
+
+    daemon_threads = True
+    #: Let quick restarts (tests, CI) rebind the port immediately.
+    allow_reuse_address = True
+    #: Load tests open a fresh TCP connection per request from many
+    #: clients at once; the stdlib default backlog of 5 drops the burst
+    #: with connection resets.
+    request_queue_size = 128
+
+    def __init__(self, address: tuple[str, int], engine: QAEngine):
+        super().__init__(address, _Handler)
+        self.engine = engine
+
+
+class _Handler(BaseHTTPRequestHandler):
+    #: Advertised in error bodies and the Server header.
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler casing)
+        engine: QAEngine = self.server.engine
+        if self.path == "/healthz":
+            body = {
+                "status": "ok" if engine.ready else "starting",
+                "ready": engine.ready,
+                "uptime_s": round(engine.uptime_s(), 3),
+                "store_version": engine.store_version,
+            }
+            self._send_json(200 if engine.ready else 503, body)
+        elif self.path == "/metrics":
+            self._send_json(200, engine.metrics.snapshot())
+        elif self.path == "/stats":
+            self._send_json(200, engine.stats())
+        else:
+            self._send_json(404, {"error": f"no such route: {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        engine: QAEngine = self.server.engine
+        if self.path not in ("/ask", "/batch"):
+            self._send_json(404, {"error": f"no such route: {self.path}"})
+            return
+        payload = self._read_json()
+        if payload is None:
+            return  # _read_json already answered with a 400
+        try:
+            if self.path == "/ask":
+                self._handle_ask(engine, payload)
+            else:
+                self._handle_batch(engine, payload)
+        except AdmissionRejected as rejected:
+            self._send_json(
+                429,
+                {
+                    "error": "server busy",
+                    "in_flight": rejected.in_flight,
+                    "capacity": rejected.capacity,
+                },
+                headers={"Retry-After": "1"},
+            )
+        except Exception as error:  # pragma: no cover - defensive surface
+            engine.metrics.incr("serve.internal_errors")
+            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+
+    # ------------------------------------------------------------------ #
+
+    def _handle_ask(self, engine: QAEngine, payload: dict) -> None:
+        question = payload.get("question")
+        if not isinstance(question, str) or not question.strip():
+            self._send_json(400, {"error": "'question' must be a non-empty string"})
+            return
+        deadline_s = _optional_number(payload, "deadline_s")
+        if deadline_s is _INVALID:
+            self._send_json(400, {"error": "'deadline_s' must be a positive number"})
+            return
+        response = engine.ask(
+            question,
+            deadline_s=deadline_s,
+            trace=bool(payload.get("trace", False)),
+        )
+        self._send_json(200, response)
+
+    def _handle_batch(self, engine: QAEngine, payload: dict) -> None:
+        questions = payload.get("questions")
+        if (
+            not isinstance(questions, list)
+            or not questions
+            or not all(isinstance(q, str) and q.strip() for q in questions)
+        ):
+            self._send_json(
+                400, {"error": "'questions' must be a non-empty list of strings"}
+            )
+            return
+        deadline_s = _optional_number(payload, "deadline_s")
+        if deadline_s is _INVALID:
+            self._send_json(400, {"error": "'deadline_s' must be a positive number"})
+            return
+        responses = engine.batch(questions, deadline_s=deadline_s)
+        self._send_json(200, {"responses": responses})
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+
+    def _read_json(self) -> dict | None:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_json(400, {"error": "request body required (JSON object)"})
+            return None
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self._send_json(400, {"error": "request body is not valid JSON"})
+            return None
+        if not isinstance(payload, dict):
+            self._send_json(400, {"error": "request body must be a JSON object"})
+            return None
+        return payload
+
+    def _send_json(
+        self, status: int, body: dict, headers: dict[str, str] | None = None
+    ) -> None:
+        encoded = json.dumps(body, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def log_message(self, format: str, *args) -> None:
+        # Per-request stderr lines would swamp load tests; the engine's
+        # metrics registry is the serving log.
+        pass
+
+
+_INVALID = object()
+
+
+def _optional_number(payload: dict, key: str):
+    """The positive float at ``key``, None when absent, _INVALID when bad."""
+    value = payload.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+        return _INVALID
+    return float(value)
+
+
+def build_server(engine: QAEngine, host: str = "127.0.0.1", port: int = 8765) -> QAServer:
+    """A bound (not yet serving) server; ``port=0`` picks an ephemeral port
+    (read it back from ``server.server_address[1]`` — tests rely on this).
+    """
+    return QAServer((host, port), engine)

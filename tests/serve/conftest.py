@@ -1,0 +1,31 @@
+"""Shared fixtures for serving-layer tests: warm KG, dictionary, engine.
+
+Session-scoped because dictionary mining walks the whole graph; engines
+built on top are cheap (the KG's kernel and the linker index are shared
+state) but each test that mutates engine state builds its own.
+"""
+
+import pytest
+
+from repro.datasets import build_dbpedia_mini, build_phrase_dataset
+from repro.paraphrase import ParaphraseMiner
+from repro.serve import EngineConfig, QAEngine
+
+
+@pytest.fixture(scope="session")
+def kg():
+    return build_dbpedia_mini()
+
+
+@pytest.fixture(scope="session")
+def dictionary(kg):
+    return ParaphraseMiner(kg, max_path_length=4, top_k=3).mine(build_phrase_dataset())
+
+
+@pytest.fixture(scope="session")
+def engine(kg, dictionary):
+    """One warm shared engine for read-only request tests."""
+    built = QAEngine(kg, dictionary, EngineConfig(pool_size=2, queue_limit=4))
+    built.warm()
+    yield built
+    built.close()

@@ -1,0 +1,75 @@
+"""Admission control: bounded in-flight budget, rejection, pressure."""
+
+import pytest
+
+from repro.obs.metrics import Metrics
+from repro.serve.admission import AdmissionController, AdmissionRejected
+
+
+class TestAdmission:
+    def test_admit_and_release_track_in_flight(self):
+        admission = AdmissionController(capacity=2)
+        token = admission.admit()
+        assert admission.in_flight == 1
+        token.release()
+        assert admission.in_flight == 0
+
+    def test_rejects_beyond_capacity(self):
+        admission = AdmissionController(capacity=2)
+        held = [admission.admit(), admission.admit()]
+        with pytest.raises(AdmissionRejected) as rejected:
+            admission.admit()
+        assert rejected.value.capacity == 2
+        assert rejected.value.in_flight == 2
+        for token in held:
+            token.release()
+        admission.admit().release()  # slots free again
+
+    def test_context_manager_releases_on_exception(self):
+        admission = AdmissionController(capacity=1)
+        with pytest.raises(RuntimeError):
+            with admission.admit():
+                raise RuntimeError("boom")
+        assert admission.in_flight == 0
+
+    def test_release_is_idempotent(self):
+        admission = AdmissionController(capacity=1)
+        token = admission.admit()
+        token.release()
+        token.release()
+        assert admission.in_flight == 0
+
+    def test_pressure_scales_with_occupancy(self):
+        admission = AdmissionController(capacity=4)
+        assert admission.pressure() == 0.0
+        tokens = [admission.admit(), admission.admit(), admission.admit()]
+        assert admission.pressure() == 0.75
+        for token in tokens:
+            token.release()
+        assert admission.pressure() == 0.0
+
+    def test_zero_capacity_is_always_saturated(self):
+        admission = AdmissionController(capacity=0)
+        assert admission.pressure() == 1.0
+        with pytest.raises(AdmissionRejected):
+            admission.admit()
+
+    def test_stats_and_metrics(self):
+        metrics = Metrics()
+        admission = AdmissionController(capacity=1, metrics=metrics)
+        admission.admit().release()
+        with pytest.raises(AdmissionRejected):
+            with admission.admit():
+                admission.admit()
+        stats = admission.stats()
+        assert stats == {
+            "capacity": 1,
+            "in_flight": 0,
+            "peak_in_flight": 1,
+            "admitted": 2,
+            "rejected": 1,
+        }
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["serve.rejected"] == 1
+        assert snapshot["histograms"]["serve.queue_depth"]["count"] == 2
+        assert snapshot["histograms"]["serve.in_flight_ms"]["count"] == 2

@@ -1,0 +1,142 @@
+"""HTTP transport: routes, error mapping, backpressure — on an ephemeral port."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import EngineConfig, QAEngine, build_server
+
+BERLIN_Q = "Who is the mayor of Berlin?"
+
+
+@pytest.fixture(scope="module")
+def served(kg, dictionary):
+    """A live server on an ephemeral port (engine: 2 workers, 2 waiting)."""
+    engine = QAEngine(kg, dictionary, EngineConfig(pool_size=2, queue_limit=2))
+    engine.warm()
+    server = build_server(engine, port=0)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{port}", engine
+    server.shutdown()
+    server.server_close()
+    engine.close()
+
+
+def _post(url: str, payload) -> tuple[int, dict]:
+    data = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _get(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestAsk:
+    def test_roundtrip(self, served):
+        base, _engine = served
+        status, body = _post(f"{base}/ask", {"question": BERLIN_Q})
+        assert status == 200
+        assert body["answers"] == ["res:Klaus_Wowereit"]
+        assert body["degraded"] is False
+        assert "timings_ms" in body
+
+    def test_batch(self, served):
+        base, _engine = served
+        status, body = _post(
+            f"{base}/batch",
+            {"questions": ["What is the capital of Germany?", BERLIN_Q]},
+        )
+        assert status == 200
+        assert len(body["responses"]) == 2
+        assert body["responses"][1]["answers"] == ["res:Klaus_Wowereit"]
+
+    def test_missing_question_is_400(self, served):
+        base, _engine = served
+        status, body = _post(f"{base}/ask", {"q": "nope"})
+        assert status == 400
+        assert "question" in body["error"]
+
+    def test_invalid_json_is_400(self, served):
+        base, _engine = served
+        status, body = _post(f"{base}/ask", b"this is not json")
+        assert status == 400
+
+    def test_bad_deadline_is_400(self, served):
+        base, _engine = served
+        status, _body = _post(
+            f"{base}/ask", {"question": BERLIN_Q, "deadline_s": -1}
+        )
+        assert status == 400
+
+    def test_unknown_route_is_404(self, served):
+        base, _engine = served
+        assert _post(f"{base}/nope", {"question": BERLIN_Q})[0] == 404
+        assert _get(f"{base}/nope")[0] == 404
+
+
+class TestBackpressure:
+    def test_saturated_admission_yields_429(self, served):
+        base, engine = served
+        # Deterministic saturation: hold every admission slot directly,
+        # then any HTTP request must be rejected with 429 + Retry-After.
+        tokens = [engine.admission.admit() for _ in range(engine.admission.capacity)]
+        try:
+            request = urllib.request.Request(
+                f"{base}/ask",
+                data=json.dumps({"question": BERLIN_Q}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=30)
+            assert excinfo.value.code == 429
+            assert excinfo.value.headers["Retry-After"] == "1"
+            body = json.loads(excinfo.value.read())
+            assert body["capacity"] == engine.admission.capacity
+        finally:
+            for token in tokens:
+                token.release()
+        # Slots released: the same request succeeds again.
+        assert _post(f"{base}/ask", {"question": BERLIN_Q})[0] == 200
+
+
+class TestIntrospection:
+    def test_healthz_shape(self, served):
+        base, engine = served
+        status, body = _get(f"{base}/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["ready"] is True
+        assert body["store_version"] == engine.store_version
+        assert body["uptime_s"] >= 0
+
+    def test_metrics_is_a_metrics_snapshot(self, served):
+        base, _engine = served
+        _post(f"{base}/ask", {"question": BERLIN_Q})
+        status, body = _get(f"{base}/metrics")
+        assert status == 200
+        assert set(body) == {"counters", "histograms"}
+        assert body["counters"]["serve.requests"] >= 1
+        assert body["histograms"]["serve.latency_ms"]["count"] >= 1
+
+    def test_stats_shape(self, served):
+        base, _engine = served
+        status, body = _get(f"{base}/stats")
+        assert status == 200
+        for key in ("answer_cache", "link_cache", "admission", "kernel", "config"):
+            assert key in body
