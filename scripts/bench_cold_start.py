@@ -1,0 +1,238 @@
+#!/usr/bin/env python
+"""Cold-start benchmark: text bundle load vs compiled snapshot load.
+
+Measures how long it takes to get a serving :class:`repro.serve.QAEngine`
+from artifacts on disk to its first answered question, two ways:
+
+* ``text``     — parse ``graph.nt``, re-encode every term, rebuild the
+  adjacency kernel, label index, linker degree sweep and closures, and
+  re-resolve the portable paraphrase dictionary (the v1 bundle path);
+* ``snapshot`` — load a compiled snapshot (``repro compile``): terms are
+  id-frozen, the triple columns arrive pre-sorted, and the kernel rows,
+  label index, linker entries, closures and dictionary paths are adopted
+  verbatim with no rebuild.
+
+Both engines must answer the probe questions identically — the benchmark
+fails if they diverge, so the speedup is never bought with correctness.
+
+*Cold start* is time-to-ready: artifact load plus engine warm-up, i.e.
+everything between process start and the engine accepting traffic.  The
+first-question latency is reported alongside but kept out of the gate —
+it is steady-state search compute, identical in both modes by design.
+
+Writes ``BENCH_snapshot.json`` and exits non-zero when the snapshot cold
+start is not at least ``--min-speedup`` times faster than the text path
+(the acceptance gate; snapshots exist precisely to win this race).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_cold_start.py --output BENCH_snapshot.json
+    PYTHONPATH=src python scripts/bench_cold_start.py --quick --min-speedup 3.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+SCHEMA = "bench_snapshot/v1"
+
+
+def build_scenario():
+    """The perf-baseline synthetic scenario plus probe questions."""
+    from repro.datasets import (
+        SyntheticConfig,
+        build_phrase_dataset,
+        build_synthetic_kg,
+    )
+    from repro.datasets.patty_sim import scale_phrase_dataset
+    from repro.datasets.synthetic import entity_pool
+    from repro.paraphrase import ParaphraseMiner
+
+    kg = build_synthetic_kg(
+        SyntheticConfig(entities=1000, triples_per_entity=4, predicates=30)
+    )
+    dataset = scale_phrase_dataset(build_phrase_dataset(), 100, 5, entity_pool(kg))
+    dictionary = ParaphraseMiner(kg, max_path_length=4, top_k=3).mine(dataset)
+    # Generated filler names fail relation extraction instantly; only real
+    # verb phrases exercise linking and top-k search.
+    phrases = [
+        phrase for phrase in sorted(dataset.support)
+        if not phrase.startswith("synthetic relation")
+    ]
+    questions = [
+        f"Which entity {phrases[i % len(phrases)]} entity {(i * 37) % 1000}?"
+        for i in range(5)
+    ]
+    return kg, dictionary, questions
+
+
+def _engine_config():
+    from repro.serve import EngineConfig
+
+    # Small pool, caching on defaults: the measurement is start-up work,
+    # and the first question is a cold cache in both modes anyway.
+    return EngineConfig(pool_size=2, queue_limit=4)
+
+
+def _render(result) -> list[str] | str:
+    if result.boolean is not None:
+        return "yes" if result.boolean else "no"
+    return [str(term) for term in result.answers]
+
+
+def _cold_start_text(bundle_dir: Path, question: str):
+    from repro.bundle import load_bundle
+    from repro.serve import QAEngine
+
+    started = time.perf_counter()
+    kg, dictionary = load_bundle(bundle_dir, prefer_snapshot=False)
+    load_s = time.perf_counter() - started
+    engine = QAEngine(kg, dictionary, _engine_config())
+    engine.warm()
+    warm_s = time.perf_counter() - started - load_s
+    probe = time.perf_counter()
+    engine.ask_answer(question)
+    first_q = time.perf_counter() - probe
+    return engine, {
+        "load_seconds": load_s,
+        "warm_seconds": warm_s,
+        "cold_start_seconds": load_s + warm_s,
+        "first_question_seconds": first_q,
+    }
+
+
+def _cold_start_snapshot(snapshot_path: Path, question: str):
+    from repro.rdf.snapshot import load_snapshot
+    from repro.serve import QAEngine
+
+    started = time.perf_counter()
+    state = load_snapshot(snapshot_path)
+    load_s = time.perf_counter() - started
+    engine = QAEngine(
+        state.kg, state.dictionary, _engine_config(),
+        base_linker=state.build_linker(),
+    )
+    engine.warm()
+    warm_s = time.perf_counter() - started - load_s
+    probe = time.perf_counter()
+    engine.ask_answer(question)
+    first_q = time.perf_counter() - probe
+    return engine, {
+        "load_seconds": load_s,
+        "warm_seconds": warm_s,
+        "cold_start_seconds": load_s + warm_s,
+        "first_question_seconds": first_q,
+    }
+
+
+def _best_of(start_fn, repeats: int, questions: list[str]):
+    """Best timing of ``repeats`` cold starts; answers from the last engine."""
+    best = None
+    answers = None
+    for _ in range(repeats):
+        engine, timing = start_fn(questions[0])
+        try:
+            if best is None or timing["cold_start_seconds"] < best["cold_start_seconds"]:
+                best = timing
+            answers = [_render(engine.ask_answer(q)) for q in questions]
+        finally:
+            engine.close()
+    return best, answers
+
+
+def run_benchmark(quick: bool) -> dict:
+    from repro.bundle import save_bundle
+    from repro.rdf.snapshot import compile_snapshot
+
+    repeats = 1 if quick else 3
+    print(f"cold-start benchmark ({'quick' if quick else 'full'}):")
+    kg, dictionary, questions = build_scenario()
+
+    with tempfile.TemporaryDirectory(prefix="repro-coldstart-") as tmp:
+        bundle_dir = Path(tmp) / "bundle"
+        snapshot_path = Path(tmp) / "graph.snap"
+        save_bundle(bundle_dir, kg, dictionary)
+        info = compile_snapshot(snapshot_path, kg, dictionary)
+
+        text, text_answers = _best_of(
+            lambda q: _cold_start_text(bundle_dir, q), repeats, questions
+        )
+        snap, snap_answers = _best_of(
+            lambda q: _cold_start_snapshot(snapshot_path, q), repeats, questions
+        )
+
+    identical = text_answers == snap_answers
+    for name, timing in (("text", text), ("snapshot", snap)):
+        print(
+            f"  {name:9s} load {timing['load_seconds']*1000:8.1f} ms   "
+            f"warm {timing['warm_seconds']*1000:8.1f} ms   "
+            f"cold start {timing['cold_start_seconds']*1000:8.1f} ms   "
+            f"(first question {timing['first_question_seconds']*1000:.1f} ms)"
+        )
+    speedup = {
+        "load": round(text["load_seconds"] / snap["load_seconds"], 2),
+        "cold_start": round(
+            text["cold_start_seconds"] / snap["cold_start_seconds"], 2
+        ),
+    }
+    print(
+        f"  speedup   load {speedup['load']:.2f}x   "
+        f"cold start {speedup['cold_start']:.2f}x   "
+        f"answers {'identical' if identical else 'DIVERGED'}"
+    )
+    return {
+        "schema": SCHEMA,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": quick,
+        "scenario": {
+            "triples": info.triples,
+            "terms": info.terms,
+            "phrases": info.phrases,
+            "snapshot_bytes": info.total_bytes,
+            "questions": len(questions),
+        },
+        "text": {k: round(v, 6) for k, v in text.items()},
+        "snapshot": {k: round(v, 6) for k, v in snap.items()},
+        "speedup": speedup,
+        "answers_identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="one cold start per mode (CI smoke mode)")
+    parser.add_argument("--output", metavar="FILE", default=None,
+                        help="write the benchmark JSON here")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="fail unless snapshot cold start is at least "
+                        "this many times faster than text (default 3.0)")
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(args.quick)
+    if args.output:
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"benchmark written to {args.output}")
+    if not payload["answers_identical"]:
+        print("error: snapshot-loaded engine diverged from the text-loaded "
+              "engine", file=sys.stderr)
+        return 1
+    if payload["speedup"]["cold_start"] < args.min_speedup:
+        print(f"error: snapshot cold start is only "
+              f"{payload['speedup']['cold_start']:.2f}x faster than text "
+              f"(gate: {args.min_speedup:.1f}x)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

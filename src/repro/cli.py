@@ -23,7 +23,42 @@ from repro.core import GAnswer
 from repro.experiments.common import default_setup
 
 
+def _load_state(args):
+    """Warm state from ``--snapshot``/``--bundle``, or None to build fresh.
+
+    Returns ``(kg, dictionary, base_linker_or_None)``.  A compiled
+    snapshot restores the prebuilt linker index too; a bundle (or the
+    default built-from-source setup) leaves linker construction to the
+    caller.
+    """
+    snapshot = getattr(args, "snapshot", None)
+    bundle = getattr(args, "bundle", None)
+    if snapshot and bundle:
+        raise SystemExit("error: --snapshot and --bundle are mutually exclusive")
+    if snapshot:
+        from repro.rdf.snapshot import load_snapshot
+
+        state = load_snapshot(snapshot)
+        return state.kg, state.dictionary, state.build_linker()
+    if bundle:
+        from repro.bundle import load_bundle
+
+        kg, dictionary = load_bundle(bundle)
+        return kg, dictionary, None
+    return None
+
+
 def _build_system(args) -> GAnswer:
+    state = _load_state(args)
+    if state is not None:
+        kg, dictionary, linker = state
+        return GAnswer(
+            kg,
+            dictionary,
+            k=args.k,
+            enable_aggregation=args.aggregation,
+            linker=linker,
+        )
     setup = default_setup(args.distractors, jobs=args.jobs)
     return GAnswer(
         setup.kg,
@@ -55,7 +90,11 @@ def _build_engine(args):
     """A warm :class:`repro.serve.QAEngine` from serve-flavored CLI args."""
     from repro.serve import EngineConfig, QAEngine
 
-    if getattr(args, "dataset", "dbpedia-mini") == "synthetic":
+    base_linker = None
+    state = _load_state(args)
+    if state is not None:
+        kg, dictionary, base_linker = state
+    elif getattr(args, "dataset", "dbpedia-mini") == "synthetic":
         kg, dictionary = _synthetic_setup()
     else:
         setup = default_setup(args.distractors, jobs=args.jobs)
@@ -70,7 +109,7 @@ def _build_engine(args):
         degrade_pressure=getattr(args, "degrade_pressure", 0.75),
         enable_aggregation=args.aggregation,
     )
-    engine = QAEngine(kg, dictionary, config)
+    engine = QAEngine(kg, dictionary, config, base_linker=base_linker)
     engine.warm()
     return engine
 
@@ -133,9 +172,14 @@ def cmd_serve(args) -> int:
     engine = _build_engine(args)
     server = build_server(engine, host=args.host, port=args.port)
     host, port = server.server_address[:2]
+    source = (
+        f"snapshot {args.snapshot}" if args.snapshot
+        else f"bundle {args.bundle}" if args.bundle
+        else args.dataset
+    )
     print(
         f"repro serve listening on http://{host}:{port} "
-        f"(dataset={args.dataset}, pool={engine.config.pool_size}, "
+        f"(source={source}, pool={engine.config.pool_size}, "
         f"capacity={engine.admission.capacity}, store v{engine.store_version})",
         flush=True,
     )
@@ -201,6 +245,33 @@ def cmd_eval(args) -> int:
     return 0
 
 
+def cmd_compile(args) -> int:
+    import time
+    from pathlib import Path
+
+    from repro.rdf.snapshot import compile_snapshot
+
+    if args.dataset == "synthetic":
+        kg, dictionary = _synthetic_setup()
+    else:
+        setup = default_setup(args.distractors, jobs=args.jobs)
+        kg, dictionary = setup.kg, setup.dictionary
+    started = time.perf_counter()
+    info = compile_snapshot(Path(args.output), kg, dictionary)
+    elapsed = time.perf_counter() - started
+    print(
+        f"compiled {info.triples} triples, {info.terms} terms, "
+        f"{info.phrases} phrases → {info.path} "
+        f"({info.total_bytes} bytes, {elapsed:.2f} s)"
+    )
+    if args.verbose:
+        for name, size in sorted(
+            info.section_bytes.items(), key=lambda kv: -kv[1]
+        ):
+            print(f"  {name:12s} {size:>10d} bytes")
+    return 0
+
+
 def cmd_dictionary(args) -> int:
     from repro.paraphrase.path_mining import describe_path
 
@@ -248,6 +319,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def add_source_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--snapshot", metavar="FILE", default=None,
+            help="load a compiled snapshot (repro compile) instead of "
+            "building the KG and dictionary from source",
+        )
+        sub.add_argument(
+            "--bundle", metavar="DIR", default=None,
+            help="load a saved bundle directory instead of building from "
+            "source (prefers its snapshot member when present)",
+        )
+
     ask = commands.add_parser("ask", help="answer one question")
     ask.add_argument("question")
     ask.add_argument("--sparql", action="store_true", help="print the top match's SPARQL")
@@ -257,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
     ask.set_defaults(func=cmd_ask)
 
     shell = commands.add_parser("shell", help="interactive question loop")
+    add_source_flags(shell)
     shell.set_defaults(func=cmd_shell)
 
     serve = commands.add_parser(
@@ -293,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission occupancy in [0,1] past which requests are answered "
         "in degraded mode (smaller k, trimmed candidates); 1.0 disables",
     )
+    add_source_flags(serve)
     serve.set_defaults(func=cmd_serve)
 
     sparql = commands.add_parser("sparql", help="run a SPARQL query on the KG")
@@ -306,10 +391,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every question through the warm QAEngine (pool + cache) "
         "instead of a direct pipeline — accuracy must be identical",
     )
+    add_source_flags(evaluate)
     evaluate.set_defaults(func=cmd_eval)
 
     dictionary = commands.add_parser("dictionary", help="show the mined dictionary")
     dictionary.set_defaults(func=cmd_dictionary)
+
+    compile_cmd = commands.add_parser(
+        "compile",
+        help="compile the KG + dictionary into an id-stable snapshot for "
+        "near-instant cold start (load with --snapshot)",
+    )
+    compile_cmd.add_argument("output", help="snapshot file to write (e.g. graph.snap)")
+    compile_cmd.add_argument(
+        "--dataset", choices=("dbpedia-mini", "synthetic"), default="dbpedia-mini",
+        help="which setup to compile (synthetic = the perf-baseline scenario)",
+    )
+    compile_cmd.add_argument(
+        "--verbose", action="store_true", help="print per-section sizes"
+    )
+    compile_cmd.set_defaults(func=cmd_compile)
     return parser
 
 

@@ -29,6 +29,14 @@ class TermNotFoundError(ReproError):
     """Raised when a term id or lexical form is absent from a dictionary."""
 
 
+class StoreFrozenError(ReproError):
+    """Raised on mutation of a read-only (compacted/snapshot-loaded) store."""
+
+
+class SnapshotError(ReproError):
+    """Raised when a compiled snapshot is missing, corrupt, or incompatible."""
+
+
 class SPARQLSyntaxError(ReproError):
     """Raised when parsing a SPARQL query fails."""
 

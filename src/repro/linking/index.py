@@ -48,6 +48,41 @@ class LabelIndex:
         self._entries: list[IndexEntry] = []
         self._build()
 
+    @classmethod
+    def from_compiled(
+        cls,
+        kg: KnowledgeGraph,
+        entries: "list[tuple[int, str, str, bool]]",
+        postings: "dict[str, tuple[int, ...]]",
+    ) -> "LabelIndex":
+        """Rebuild an index from compiled-snapshot entries and postings.
+
+        Skips the full build — no triple scan, no label normalization,
+        no lemmatizing — because entries (node_id, label, normalized,
+        is_class) and the word posting lists were persisted verbatim.
+        The exact-match map is regenerated from the entries' stored
+        normalized keys, preserving insertion order.
+        """
+        index = cls.__new__(cls)
+        index.kg = kg
+        index._entries = [
+            IndexEntry(node_id, label, normalized, is_class)
+            for node_id, label, normalized, is_class in entries
+        ]
+        index._exact = {}
+        for entry in index._entries:
+            index._exact.setdefault(entry.normalized, []).append(entry)
+        index._by_word = {word: set(positions) for word, positions in postings.items()}
+        return index
+
+    def entries(self) -> list[IndexEntry]:
+        """All (node, label) entries in insertion order (read-only)."""
+        return self._entries
+
+    def word_postings(self) -> dict[str, set[int]]:
+        """word → entry-position posting lists (read-only)."""
+        return self._by_word
+
     def _build(self) -> None:
         store = self.kg.store
         for node_id in sorted(store.node_ids()):

@@ -56,16 +56,25 @@ class EntityLinker:
         max_candidates: int = 10,
         min_score: float = 0.25,
         tracer=None,
+        index: LabelIndex | None = None,
+        max_degree: int | None = None,
     ):
         self.kg = kg
         self.max_candidates = max_candidates
         self.min_score = min_score
         self.tracer = tracer
-        self.index = LabelIndex(kg)
-        self._max_degree = max(
+        # A compiled snapshot supplies both the prebuilt index and the
+        # max degree, skipping the full label scan and the degree sweep.
+        self.index = index if index is not None else LabelIndex(kg)
+        self._max_degree = max_degree if max_degree is not None else max(
             (kg.degree(node_id, include_structural=True) for node_id in kg.store.node_ids()),
             default=1,
         )
+
+    @property
+    def max_degree(self) -> int:
+        """The prominence-normalization ceiling (snapshot compiler reads it)."""
+        return self._max_degree
 
     def link(self, phrase: str, tracer=None) -> list[LinkCandidate]:
         """Confidence-ranked candidates for ``phrase`` (may be empty).

@@ -26,6 +26,7 @@ from repro.rdf.vocab import (
     XSD_INTEGER,
     XSD_STRING,
 )
+from repro.rdf.backend import CompactBackend, DictBackend, StoreBackend
 from repro.rdf.dictionary import TermDictionary
 from repro.rdf.store import TripleStore
 from repro.rdf.graph import Direction, Edge, KnowledgeGraph
@@ -51,6 +52,9 @@ __all__ = [
     "XSD_STRING",
     "TermDictionary",
     "TripleStore",
+    "StoreBackend",
+    "DictBackend",
+    "CompactBackend",
     "Direction",
     "Edge",
     "KnowledgeGraph",

@@ -1,0 +1,507 @@
+"""Pluggable storage backends behind the :class:`TripleStore` facade.
+
+The store's id-level read/write surface is captured by the
+:class:`StoreBackend` protocol so the physical layout can be chosen per
+workload:
+
+* :class:`DictBackend` — three permutation indexes (SPO, POS, OSP) as
+  two-level dicts of sets.  Mutable, O(1) add/remove, the right shape for
+  the build/mining phase where triples stream in incrementally.
+* :class:`CompactBackend` — the same three permutations as parallel
+  sorted ``array('q')`` columns answered by bisect seeks (the RDF-3X
+  layout).  Frozen after construction, allocation-lean, and directly
+  persistable: the compiled-snapshot format
+  (:mod:`repro.rdf.snapshot`) writes the column bytes verbatim, so a
+  serving replica rebuilds the index with ``array.frombytes`` instead of
+  re-inserting every triple.
+
+Nothing outside :mod:`repro.rdf` should import this module: all access
+goes through the :class:`StoreBackend` protocol via the
+:class:`repro.rdf.store.TripleStore` facade.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import AbstractSet, Iterable, Iterator, Mapping, Protocol, runtime_checkable
+
+from repro.exceptions import StoreFrozenError
+
+IdTriple = tuple[int, int, int]
+
+#: Shared empty views returned by the read-only accessors below; callers
+#: treat every returned set/mapping as immutable, so one instance suffices.
+_EMPTY_SET: frozenset[int] = frozenset()
+_EMPTY_MAP: dict[int, frozenset[int]] = {}
+
+
+@runtime_checkable
+class StoreBackend(Protocol):
+    """The id-level storage surface every backend provides.
+
+    Mutation (``add``/``remove``) may raise :class:`StoreFrozenError` on
+    read-only backends; ``writable`` says so up front.  All returned sets
+    and mappings are read-only views — callers must never mutate them.
+    """
+
+    @property
+    def writable(self) -> bool: ...
+
+    @property
+    def version(self) -> int: ...
+
+    def __len__(self) -> int: ...
+
+    def add(self, s: int, p: int, o: int) -> bool: ...
+
+    def remove(self, s: int, p: int, o: int) -> bool: ...
+
+    def contains(self, s: int, p: int, o: int) -> bool: ...
+
+    def triples_ids(
+        self, s: int | None = None, p: int | None = None, o: int | None = None
+    ) -> Iterator[IdTriple]: ...
+
+    def count(
+        self, s: int | None = None, p: int | None = None, o: int | None = None
+    ) -> int: ...
+
+    def objects_ids(self, s: int, p: int) -> AbstractSet[int]: ...
+
+    def subjects_ids(self, p: int, o: int) -> AbstractSet[int]: ...
+
+    def out_index(self, s: int) -> Mapping[int, AbstractSet[int]]: ...
+
+    def in_index(self, o: int) -> Mapping[int, AbstractSet[int]]: ...
+
+    def objects_of_predicate(self, p: int) -> Iterator[int]: ...
+
+    def iter_out_rows(self) -> Iterator[tuple[int, Mapping[int, AbstractSet[int]]]]: ...
+
+    def subject_ids(self) -> Iterator[int]: ...
+
+    def predicate_ids(self) -> Iterator[int]: ...
+
+    def object_ids(self) -> Iterator[int]: ...
+
+
+class DictBackend:
+    """Mutable permutation indexes as two-level dicts of sets.
+
+    This is the standard index layout of native RDF stores (gStore,
+    RDF-3X keep the full set of permutations; three suffice here because
+    each pattern shape has at least one index whose prefix is bound).
+    """
+
+    __slots__ = ("_spo", "_pos", "_osp", "_size", "_version")
+
+    def __init__(self) -> None:
+        self._spo: dict[int, dict[int, set[int]]] = {}
+        self._pos: dict[int, dict[int, set[int]]] = {}
+        self._osp: dict[int, dict[int, set[int]]] = {}
+        self._size = 0
+        self._version = 0
+
+    @property
+    def writable(self) -> bool:
+        return True
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add(self, s: int, p: int, o: int) -> bool:
+        objects = self._spo.setdefault(s, {}).setdefault(p, set())
+        if o in objects:
+            return False
+        objects.add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        self._size += 1
+        self._version += 1
+        return True
+
+    def remove(self, s: int, p: int, o: int) -> bool:
+        objects = self._spo.get(s, {}).get(p)
+        if objects is None or o not in objects:
+            return False
+        objects.discard(o)
+        self._pos[p][o].discard(s)
+        self._osp[o][s].discard(p)
+        self._prune_empty(self._spo, s, p)
+        self._prune_empty(self._pos, p, o)
+        self._prune_empty(self._osp, o, s)
+        self._size -= 1
+        self._version += 1
+        return True
+
+    @staticmethod
+    def _prune_empty(index: dict[int, dict[int, set[int]]], outer: int, inner: int) -> None:
+        level = index.get(outer)
+        if level is None:
+            return
+        if not level.get(inner):
+            level.pop(inner, None)
+        if not level:
+            index.pop(outer, None)
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+
+    def contains(self, s: int, p: int, o: int) -> bool:
+        return o in self._spo.get(s, {}).get(p, ())
+
+    def triples_ids(
+        self, s: int | None = None, p: int | None = None, o: int | None = None
+    ) -> Iterator[IdTriple]:
+        """Iterate id triples matching a pattern of optional bound ids.
+
+        Chooses the index whose prefix covers the bound positions so every
+        shape is answered by direct dict seeks plus one innermost loop.
+        """
+        if s is not None:
+            by_pred = self._spo.get(s, {})
+            if p is not None:
+                objects = by_pred.get(p, ())
+                if o is not None:
+                    if o in objects:
+                        yield (s, p, o)
+                else:
+                    for oid in objects:
+                        yield (s, p, oid)
+            elif o is not None:
+                for pid in self._osp.get(o, {}).get(s, ()):
+                    yield (s, pid, o)
+            else:
+                for pid, objects in by_pred.items():
+                    for oid in objects:
+                        yield (s, pid, oid)
+        elif p is not None:
+            by_obj = self._pos.get(p, {})
+            if o is not None:
+                for sid in by_obj.get(o, ()):
+                    yield (sid, p, o)
+            else:
+                for oid, subjects in by_obj.items():
+                    for sid in subjects:
+                        yield (sid, p, oid)
+        elif o is not None:
+            for sid, preds in self._osp.get(o, {}).items():
+                for pid in preds:
+                    yield (sid, pid, o)
+        else:
+            for sid, by_pred in self._spo.items():
+                for pid, objects in by_pred.items():
+                    for oid in objects:
+                        yield (sid, pid, oid)
+
+    def count(
+        self, s: int | None = None, p: int | None = None, o: int | None = None
+    ) -> int:
+        if s is None and p is None and o is None:
+            return self._size
+        if s is not None and p is not None and o is None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if p is not None and o is not None and s is None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        return sum(1 for _ in self.triples_ids(s, p, o))
+
+    def objects_ids(self, s: int, p: int) -> AbstractSet[int]:
+        return self._spo.get(s, _EMPTY_MAP).get(p, _EMPTY_SET)
+
+    def subjects_ids(self, p: int, o: int) -> AbstractSet[int]:
+        return self._pos.get(p, _EMPTY_MAP).get(o, _EMPTY_SET)
+
+    def out_index(self, s: int) -> Mapping[int, AbstractSet[int]]:
+        return self._spo.get(s, _EMPTY_MAP)
+
+    def in_index(self, o: int) -> Mapping[int, AbstractSet[int]]:
+        return self._osp.get(o, _EMPTY_MAP)
+
+    def objects_of_predicate(self, p: int) -> Iterator[int]:
+        return iter(self._pos.get(p, _EMPTY_MAP))
+
+    def iter_out_rows(self) -> Iterator[tuple[int, Mapping[int, AbstractSet[int]]]]:
+        return iter(self._spo.items())
+
+    def subject_ids(self) -> Iterator[int]:
+        return iter(self._spo)
+
+    def predicate_ids(self) -> Iterator[int]:
+        return iter(self._pos)
+
+    def object_ids(self) -> Iterator[int]:
+        return iter(self._osp)
+
+
+def _run_bounds(column: array, value: int, lo: int, hi: int) -> tuple[int, int]:
+    """The [lo, hi) run of ``value`` inside a sorted column slice."""
+    return (
+        bisect_left(column, value, lo, hi),
+        bisect_right(column, value, lo, hi),
+    )
+
+
+class CompactBackend:
+    """Frozen, read-optimized backend: sorted permutation columns.
+
+    Each permutation (SPO, POS, OSP) is three parallel ``array('q')``
+    columns sorted lexicographically by the permutation's key order;
+    any pattern with bound positions narrows to a contiguous run with
+    at most two rounds of bisects.  Compared to :class:`DictBackend`
+    this trades O(1) point updates (mutation raises
+    :class:`StoreFrozenError`) for a fraction of the memory — 9 machine
+    words per triple instead of hash tables of boxed ints — and for a
+    layout that serializes/deserializes as raw bytes.
+
+    Every ``count`` shape with one or two bound positions is O(log n):
+    it is a run length, never an iteration.
+    """
+
+    __slots__ = (
+        "_spo_s", "_spo_p", "_spo_o",
+        "_pos_p", "_pos_o", "_pos_s",
+        "_osp_o", "_osp_s", "_osp_p",
+        "_size", "_version",
+    )
+
+    def __init__(
+        self,
+        spo: tuple[array, array, array],
+        pos: tuple[array, array, array],
+        osp: tuple[array, array, array],
+        version: int = 0,
+    ):
+        self._spo_s, self._spo_p, self._spo_o = spo
+        self._pos_p, self._pos_o, self._pos_s = pos
+        self._osp_o, self._osp_s, self._osp_p = osp
+        self._size = len(self._spo_s)
+        self._version = version
+        lengths = {
+            len(column)
+            for column in (
+                self._spo_s, self._spo_p, self._spo_o,
+                self._pos_p, self._pos_o, self._pos_s,
+                self._osp_o, self._osp_s, self._osp_p,
+            )
+        }
+        if lengths != {self._size}:
+            raise ValueError("permutation columns disagree on triple count")
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[IdTriple], version: int = 0) -> "CompactBackend":
+        """Build all three permutations from id triples (deduplicated)."""
+        spo = sorted(set(triples))
+        pos = sorted((p, o, s) for s, p, o in spo)
+        osp = sorted((o, s, p) for s, p, o in spo)
+
+        def columns(rows: list[tuple[int, int, int]]) -> tuple[array, array, array]:
+            return (
+                array("q", (row[0] for row in rows)),
+                array("q", (row[1] for row in rows)),
+                array("q", (row[2] for row in rows)),
+            )
+
+        return cls(columns(spo), columns(pos), columns(osp), version=version)
+
+    @property
+    def writable(self) -> bool:
+        return False
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------ #
+    # Mutation (rejected)
+    # ------------------------------------------------------------------ #
+
+    def add(self, s: int, p: int, o: int) -> bool:
+        raise StoreFrozenError(
+            "CompactBackend is read-only; mutate a DictBackend store and "
+            "recompact (TripleStore.compacted) or recompile the snapshot"
+        )
+
+    def remove(self, s: int, p: int, o: int) -> bool:
+        raise StoreFrozenError(
+            "CompactBackend is read-only; mutate a DictBackend store and "
+            "recompact (TripleStore.compacted) or recompile the snapshot"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+
+    def _spo_run(self, s: int, p: int | None = None) -> tuple[int, int]:
+        lo, hi = _run_bounds(self._spo_s, s, 0, self._size)
+        if p is not None and lo < hi:
+            lo, hi = _run_bounds(self._spo_p, p, lo, hi)
+        return lo, hi
+
+    def _pos_run(self, p: int, o: int | None = None) -> tuple[int, int]:
+        lo, hi = _run_bounds(self._pos_p, p, 0, self._size)
+        if o is not None and lo < hi:
+            lo, hi = _run_bounds(self._pos_o, o, lo, hi)
+        return lo, hi
+
+    def _osp_run(self, o: int, s: int | None = None) -> tuple[int, int]:
+        lo, hi = _run_bounds(self._osp_o, o, 0, self._size)
+        if s is not None and lo < hi:
+            lo, hi = _run_bounds(self._osp_s, s, lo, hi)
+        return lo, hi
+
+    def contains(self, s: int, p: int, o: int) -> bool:
+        lo, hi = self._spo_run(s, p)
+        position = bisect_left(self._spo_o, o, lo, hi)
+        return position < hi and self._spo_o[position] == o
+
+    def triples_ids(
+        self, s: int | None = None, p: int | None = None, o: int | None = None
+    ) -> Iterator[IdTriple]:
+        if s is not None:
+            if o is not None and p is None:
+                lo, hi = self._osp_run(o, s)
+                for index in range(lo, hi):
+                    yield (s, self._osp_p[index], o)
+                return
+            lo, hi = self._spo_run(s, p)
+            if o is not None:
+                if self.contains(s, p, o):  # type: ignore[arg-type]
+                    yield (s, p, o)  # type: ignore[misc]
+                return
+            for index in range(lo, hi):
+                yield (s, self._spo_p[index], self._spo_o[index])
+        elif p is not None:
+            lo, hi = self._pos_run(p, o)
+            for index in range(lo, hi):
+                yield (self._pos_s[index], p, self._pos_o[index])
+        elif o is not None:
+            lo, hi = self._osp_run(o)
+            for index in range(lo, hi):
+                yield (self._osp_s[index], self._osp_p[index], o)
+        else:
+            for index in range(self._size):
+                yield (self._spo_s[index], self._spo_p[index], self._spo_o[index])
+
+    def count(
+        self, s: int | None = None, p: int | None = None, o: int | None = None
+    ) -> int:
+        if s is None and p is None and o is None:
+            return self._size
+        if s is not None and p is not None and o is not None:
+            return 1 if self.contains(s, p, o) else 0
+        # Every remaining shape is a contiguous run in one permutation.
+        if s is not None:
+            if o is not None:
+                lo, hi = self._osp_run(o, s)
+            else:
+                lo, hi = self._spo_run(s, p)
+        elif p is not None:
+            lo, hi = self._pos_run(p, o)
+        else:
+            lo, hi = self._osp_run(o)  # type: ignore[arg-type]
+        return hi - lo
+
+    def objects_ids(self, s: int, p: int) -> AbstractSet[int]:
+        lo, hi = self._spo_run(s, p)
+        if lo == hi:
+            return _EMPTY_SET
+        return frozenset(self._spo_o[lo:hi])
+
+    def subjects_ids(self, p: int, o: int) -> AbstractSet[int]:
+        lo, hi = self._pos_run(p, o)
+        if lo == hi:
+            return _EMPTY_SET
+        return frozenset(self._pos_s[lo:hi])
+
+    def out_index(self, s: int) -> Mapping[int, AbstractSet[int]]:
+        lo, hi = self._spo_run(s)
+        if lo == hi:
+            return _EMPTY_MAP
+        return self._group_runs(self._spo_p, self._spo_o, lo, hi)
+
+    def in_index(self, o: int) -> Mapping[int, AbstractSet[int]]:
+        lo, hi = self._osp_run(o)
+        if lo == hi:
+            return _EMPTY_MAP
+        return self._group_runs(self._osp_s, self._osp_p, lo, hi)
+
+    @staticmethod
+    def _group_runs(
+        keys: array, values: array, lo: int, hi: int
+    ) -> dict[int, frozenset[int]]:
+        """Group a sorted [lo, hi) slice into {key: frozenset(values)}."""
+        grouped: dict[int, frozenset[int]] = {}
+        index = lo
+        while index < hi:
+            key = keys[index]
+            end = bisect_right(keys, key, index, hi)
+            grouped[key] = frozenset(values[index:end])
+            index = end
+        return grouped
+
+    def objects_of_predicate(self, p: int) -> Iterator[int]:
+        lo, hi = self._pos_run(p)
+        column = self._pos_o
+        index = lo
+        while index < hi:
+            value = column[index]
+            yield value
+            index = bisect_right(column, value, index, hi)
+
+    def iter_out_rows(self) -> Iterator[tuple[int, Mapping[int, AbstractSet[int]]]]:
+        column = self._spo_s
+        size = self._size
+        index = 0
+        while index < size:
+            sid = column[index]
+            end = bisect_right(column, sid, index, size)
+            yield sid, self._group_runs(self._spo_p, self._spo_o, index, end)
+            index = end
+
+    @staticmethod
+    def _distinct(column: array) -> Iterator[int]:
+        size = len(column)
+        index = 0
+        while index < size:
+            value = column[index]
+            yield value
+            index = bisect_right(column, value, index, size)
+
+    def subject_ids(self) -> Iterator[int]:
+        return self._distinct(self._spo_s)
+
+    def predicate_ids(self) -> Iterator[int]:
+        return self._distinct(self._pos_p)
+
+    def object_ids(self) -> Iterator[int]:
+        return self._distinct(self._osp_o)
+
+    # ------------------------------------------------------------------ #
+    # Persistence surface (repro.rdf.snapshot only)
+    # ------------------------------------------------------------------ #
+
+    def permutation_columns(self) -> dict[str, tuple[array, array, array]]:
+        """The raw sorted columns, keyed by permutation name.
+
+        Only :mod:`repro.rdf.snapshot` should call this: the columns are
+        the live index, returned without copying so the snapshot writer
+        can stream ``tobytes()`` straight out.
+        """
+        return {
+            "spo": (self._spo_s, self._spo_p, self._spo_o),
+            "pos": (self._pos_p, self._pos_o, self._pos_s),
+            "osp": (self._osp_o, self._osp_s, self._osp_p),
+        }

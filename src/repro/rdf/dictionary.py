@@ -27,6 +27,23 @@ class TermDictionary:
         self._term_to_id: dict[Term, int] = {}
         self._id_to_term: list[Term] = []
 
+    @classmethod
+    def from_terms(cls, terms: "list[Term]") -> "TermDictionary":
+        """Rebuild a dictionary from its id-ordered term list.
+
+        ``terms[i]`` gets id ``i`` — the id-stable reload path of the
+        compiled snapshot format, where every persisted side structure
+        (kernel rows, closures, mined paths) indexes by these exact ids.
+        """
+        dictionary = cls()
+        dictionary._id_to_term = list(terms)
+        dictionary._term_to_id = {term: i for i, term in enumerate(terms)}
+        return dictionary
+
+    def terms_in_id_order(self) -> "list[Term]":
+        """The term table, position == id (read-only; snapshot compiler)."""
+        return self._id_to_term
+
     def __len__(self) -> int:
         return len(self._id_to_term)
 

@@ -110,7 +110,11 @@ class AdjacencyKernel:
         "walk_path",
     )
 
-    def __init__(self, store: TripleStore):
+    def __init__(
+        self,
+        store: TripleStore,
+        prebuilt_rows: dict[int, AdjacencyRow] | None = None,
+    ):
         self.store = store
         self.store_version = store.version
         lookup = store.dictionary.lookup_or_none
@@ -124,7 +128,13 @@ class AdjacencyKernel:
         )
         self._full: dict[int, AdjacencyRow] = {}
         self._entity: dict[int, AdjacencyRow] = {}
-        self._build()
+        if prebuilt_rows is not None:
+            # Compiled-snapshot fast path: the rows were persisted from a
+            # kernel built against the very same (id-stable) store, so
+            # adopting them verbatim reproduces that kernel exactly.
+            self._full = prebuilt_rows
+        else:
+            self._build()
         self._signatures: dict[int, frozenset[int]] = {}
         self._regions: dict[str, dict] = {}
         self._region_lock = threading.Lock()
@@ -135,19 +145,24 @@ class AdjacencyKernel:
     # ------------------------------------------------------------------ #
 
     def _build(self) -> None:
+        # The (subject, predicate, object) visit order is canonicalized by
+        # sorting at every level, so rows come out identical whichever
+        # backend (dict insertion order vs. sorted compact columns) the
+        # store sits on — the backend-equivalence and snapshot contracts
+        # both rely on byte-identical rows.
         structural = self.structural_predicate_ids
         full: dict[int, tuple[list[int], list[int]]] = {}
-        for sid, predicate_row in self.store.iter_out_rows():
+        for sid, predicate_row in sorted(self.store.iter_out_rows()):
             srow = full.get(sid)
             if srow is None:
                 srow = full[sid] = ([], [])
             s_steps, s_nbrs = srow
-            for pid, objects in predicate_row.items():
+            for pid in sorted(predicate_row):
                 if pid in structural:
                     continue
                 fwd = pid + 1
                 bwd = -fwd
-                for oid in objects:
+                for oid in sorted(predicate_row[pid]):
                     s_steps.append(fwd)
                     s_nbrs.append(oid)
                     orow = full.get(oid)
@@ -160,6 +175,10 @@ class AdjacencyKernel:
             for node, (steps, nbrs) in full.items()
             if steps
         }
+
+    def full_rows(self) -> dict[int, AdjacencyRow]:
+        """The complete per-node row index (read-only; snapshot compiler)."""
+        return self._full
 
     # ------------------------------------------------------------------ #
     # Adjacency

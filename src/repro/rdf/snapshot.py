@@ -1,0 +1,554 @@
+"""Compiled, id-stable snapshots: the offline phase as an on-disk artifact.
+
+``load_bundle``'s text path re-parses N-Triples, re-assigns every term id,
+then rebuilds the adjacency kernel, label/linker indexes, and subclass
+closures before the first question is answered.  Native RDF engines
+(gStore in the source paper; RDF-3X-style permutation stores) instead
+treat the *encoded, indexed* form as the deployment artifact.  A compiled
+snapshot is exactly that: one versioned, checksummed binary file holding
+
+* the term dictionary **with its ids frozen** (position == id),
+* the three sorted permutation columns of the
+  :class:`~repro.rdf.backend.CompactBackend` (raw ``array('q')`` bytes),
+* the literal-id set,
+* the prebuilt adjacency-kernel rows,
+* the class set and both ``rdfs:subClassOf`` closures,
+* the graph label index and the entity-linker index entries/postings,
+* the mined paraphrase dictionary **by id** (signed steps, no
+  portable-JSON re-resolution).
+
+Because every id is stable across the round-trip, loading is direct
+reconstruction — ``array.frombytes`` plus dict assembly — with no
+parsing, no re-encoding, no re-mining, and no index rebuild.  See
+``scripts/bench_cold_start.py`` for the text-load vs snapshot-load gap.
+
+File layout::
+
+    MAGIC | u32 format | u8 byteorder | u64 meta_len | meta JSON
+    | u32 section_count | sections... | sha256 digest (32 bytes)
+
+where each section is ``u8 name_len | name | u64 payload_len | payload``.
+The digest covers everything between the fixed header and itself; a
+flipped bit anywhere surfaces as :class:`~repro.exceptions.SnapshotError`
+at load time, never as silently wrong answers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import sys
+from array import array
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.exceptions import SnapshotError
+from repro.rdf.backend import CompactBackend
+from repro.rdf.dictionary import TermDictionary
+from repro.rdf.graph import KnowledgeGraph
+from repro.rdf.kernel import AdjacencyKernel, AdjacencyRow
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import IRI, Literal, Term
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (linking sits above rdf)
+    from repro.linking.linker import EntityLinker
+    from repro.paraphrase.dictionary import ParaphraseDictionary
+
+__all__ = ["FORMAT_VERSION", "SnapshotInfo", "CompiledState", "compile_snapshot", "load_snapshot"]
+
+_MAGIC = b"REPROSNAP\x00"
+FORMAT_VERSION = 1
+
+_KIND_IRI = 0
+_KIND_PLAIN = 1
+_KIND_TYPED = 2
+_KIND_LANG = 3
+
+#: Fixed section order; load rejects files missing any of these.
+_SECTIONS = (
+    "terms", "literals", "spo", "pos", "osp",
+    "kernel", "classes", "closures", "labels", "linker", "dictionary",
+)
+
+
+# --------------------------------------------------------------------- #
+# Primitive packing
+# --------------------------------------------------------------------- #
+
+def _pack_str(text: str) -> bytes:
+    data = text.encode("utf-8")
+    return struct.pack("<I", len(data)) + data
+
+
+def _pack_array(values: array) -> bytes:
+    return struct.pack("<Q", len(values)) + values.tobytes()
+
+
+class _Reader:
+    """Sequential decoder over one section payload."""
+
+    __slots__ = ("_view", "_offset", "_swap")
+
+    def __init__(self, payload: memoryview, swap: bool):
+        self._view = payload
+        self._offset = 0
+        self._swap = swap
+
+    def _take(self, size: int) -> memoryview:
+        end = self._offset + size
+        if end > len(self._view):
+            raise SnapshotError("snapshot section truncated")
+        chunk = self._view[self._offset:end]
+        self._offset = end
+        return chunk
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self._take(8))[0]
+
+    def i64(self) -> int:
+        return struct.unpack("<q", self._take(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self._take(8))[0]
+
+    def text(self) -> str:
+        return bytes(self._take(self.u32())).decode("utf-8")
+
+    def int_array(self) -> array:
+        count = self.u64()
+        values = array("q")
+        values.frombytes(self._take(count * values.itemsize))
+        if self._swap:
+            values.byteswap()
+        return values
+
+    def done(self) -> bool:
+        return self._offset == len(self._view)
+
+
+# --------------------------------------------------------------------- #
+# Term table
+# --------------------------------------------------------------------- #
+
+def _encode_terms(terms: list[Term]) -> bytes:
+    parts = [struct.pack("<Q", len(terms))]
+    for term in terms:
+        if isinstance(term, IRI):
+            parts.append(bytes((_KIND_IRI,)))
+            parts.append(_pack_str(term.value))
+        elif term.datatype is not None:
+            parts.append(bytes((_KIND_TYPED,)))
+            parts.append(_pack_str(term.lexical))
+            parts.append(_pack_str(term.datatype.value))
+        elif term.language is not None:
+            parts.append(bytes((_KIND_LANG,)))
+            parts.append(_pack_str(term.lexical))
+            parts.append(_pack_str(term.language))
+        else:
+            parts.append(bytes((_KIND_PLAIN,)))
+            parts.append(_pack_str(term.lexical))
+    return b"".join(parts)
+
+
+def _decode_terms(reader: _Reader) -> list[Term]:
+    count = reader.u64()
+    terms: list[Term] = []
+    for _ in range(count):
+        kind = reader.u8()
+        if kind == _KIND_IRI:
+            terms.append(IRI(reader.text()))
+        elif kind == _KIND_PLAIN:
+            terms.append(Literal(reader.text()))
+        elif kind == _KIND_TYPED:
+            lexical = reader.text()
+            terms.append(Literal(lexical, datatype=IRI(reader.text())))
+        elif kind == _KIND_LANG:
+            lexical = reader.text()
+            terms.append(Literal(lexical, language=reader.text()))
+        else:
+            raise SnapshotError(f"unknown term kind {kind}")
+    return terms
+
+
+# --------------------------------------------------------------------- #
+# Id-set maps (closures)
+# --------------------------------------------------------------------- #
+
+def _encode_closure(closure: dict[int, frozenset[int]]) -> bytes:
+    keys = sorted(closure)
+    lens = array("q", (len(closure[key]) for key in keys))
+    flat = array("q")
+    for key in keys:
+        flat.extend(sorted(closure[key]))
+    return _pack_array(array("q", keys)) + _pack_array(lens) + _pack_array(flat)
+
+
+def _decode_closure(reader: _Reader) -> dict[int, frozenset[int]]:
+    keys = reader.int_array()
+    lens = reader.int_array()
+    flat = reader.int_array()
+    closure: dict[int, frozenset[int]] = {}
+    offset = 0
+    for key, length in zip(keys, lens):
+        closure[key] = frozenset(flat[offset:offset + length])
+        offset += length
+    return closure
+
+
+# --------------------------------------------------------------------- #
+# Info / state containers
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True, slots=True)
+class SnapshotInfo:
+    """Manifest-level facts about one compiled snapshot file."""
+
+    path: Path
+    format_version: int
+    created: str
+    store_version: int
+    triples: int
+    terms: int
+    phrases: int
+    section_bytes: dict[str, int]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.section_bytes.values())
+
+
+@dataclass(slots=True)
+class CompiledState:
+    """Everything a serving replica needs, reconstructed from a snapshot."""
+
+    kg: KnowledgeGraph
+    dictionary: "ParaphraseDictionary"
+    info: SnapshotInfo
+    linker_entries: list[tuple[int, str, str, bool]]
+    linker_postings: dict[str, tuple[int, ...]]
+    linker_max_degree: int
+
+    def build_linker(self, **kwargs) -> "EntityLinker":
+        """An :class:`EntityLinker` over the compiled label-index entries.
+
+        Skips the linker's scan-everything index build *and* its
+        max-degree sweep — both were done at compile time.
+        """
+        from repro.linking.index import LabelIndex
+        from repro.linking.linker import EntityLinker
+
+        index = LabelIndex.from_compiled(
+            self.kg, self.linker_entries, self.linker_postings
+        )
+        return EntityLinker(
+            self.kg,
+            index=index,
+            max_degree=self.linker_max_degree,
+            **kwargs,
+        )
+
+
+# --------------------------------------------------------------------- #
+# Compile
+# --------------------------------------------------------------------- #
+
+def compile_snapshot(
+    path: str | Path,
+    kg: KnowledgeGraph,
+    dictionary: "ParaphraseDictionary",
+) -> SnapshotInfo:
+    """Compile the warm state of ``kg`` + ``dictionary`` into one file.
+
+    Forces every lazily-built structure (kernel, class set, closures,
+    label index, linker index) so what gets persisted is exactly what a
+    warm engine would have built, then writes the checksummed container.
+    """
+    from repro.linking.linker import EntityLinker
+
+    path = Path(path)
+    store = kg.store
+    kernel = kg.kernel
+    class_ids = kg.class_ids
+    for class_id in class_ids:
+        kg.superclasses_of(class_id)
+        kg.subclasses_of(class_id)
+    label_index = kg.label_index
+    linker = EntityLinker(kg)
+
+    backend = store.backend
+    if not isinstance(backend, CompactBackend):
+        backend = CompactBackend.from_triples(
+            store.triples_ids(), version=store.version
+        )
+    columns = backend.permutation_columns()
+
+    sections: dict[str, bytes] = {}
+    sections["terms"] = _encode_terms(store.dictionary.terms_in_id_order())
+    sections["literals"] = _pack_array(array("q", sorted(store.iter_literal_ids())))
+    for name in ("spo", "pos", "osp"):
+        sections[name] = b"".join(_pack_array(column) for column in columns[name])
+
+    rows = kernel.full_rows()
+    node_ids = array("q", sorted(rows))
+    row_lens = array("q", (len(rows[node][0]) for node in node_ids))
+    flat_steps = array("q")
+    flat_neighbors = array("q")
+    for node in node_ids:
+        steps, neighbors = rows[node]
+        flat_steps.extend(steps)
+        flat_neighbors.extend(neighbors)
+    sections["kernel"] = (
+        _pack_array(node_ids) + _pack_array(row_lens)
+        + _pack_array(flat_steps) + _pack_array(flat_neighbors)
+    )
+
+    superclass_closure, subclass_closure = kg.closure_caches()
+    sections["classes"] = _pack_array(array("q", sorted(class_ids)))
+    sections["closures"] = (
+        _encode_closure(superclass_closure) + _encode_closure(subclass_closure)
+    )
+
+    label_parts = [struct.pack("<Q", len(label_index))]
+    for node, label in sorted(label_index.items()):
+        label_parts.append(struct.pack("<q", node))
+        label_parts.append(_pack_str(label))
+    sections["labels"] = b"".join(label_parts)
+
+    entries = linker.index.entries()
+    postings = linker.index.word_postings()
+    linker_parts = [struct.pack("<Q", len(entries))]
+    for entry in entries:
+        linker_parts.append(struct.pack("<qB", entry.node_id, int(entry.is_class)))
+        linker_parts.append(_pack_str(entry.label))
+        linker_parts.append(_pack_str(entry.normalized))
+    linker_parts.append(struct.pack("<Q", len(postings)))
+    for word in sorted(postings):
+        linker_parts.append(_pack_str(word))
+        linker_parts.append(_pack_array(array("q", sorted(postings[word]))))
+    linker_parts.append(struct.pack("<q", linker.max_degree))
+    sections["linker"] = b"".join(linker_parts)
+
+    phrases = sorted(dictionary.phrases())
+    dict_parts = [struct.pack("<Q", len(phrases))]
+    for phrase in phrases:
+        mappings = dictionary.lookup(phrase)
+        dict_parts.append(_pack_str(" ".join(phrase)))
+        dict_parts.append(struct.pack("<I", len(mappings)))
+        for mapping in mappings:
+            dict_parts.append(struct.pack("<d", mapping.confidence))
+            dict_parts.append(_pack_array(array("q", mapping.path)))
+    sections["dictionary"] = b"".join(dict_parts)
+
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "store_version": store.version,
+        "triples": len(store),
+        "terms": len(store.dictionary),
+        "phrases": len(dictionary),
+    }
+    meta_bytes = json.dumps(meta, sort_keys=True).encode("utf-8")
+
+    body = bytearray()
+    body += struct.pack("<Q", len(meta_bytes))
+    body += meta_bytes
+    body += struct.pack("<I", len(_SECTIONS))
+    for name in _SECTIONS:
+        payload = sections[name]
+        body += struct.pack("<B", len(name))
+        body += name.encode("ascii")
+        body += struct.pack("<Q", len(payload))
+        body += payload
+
+    head = _MAGIC + struct.pack("<IB", FORMAT_VERSION, sys.byteorder == "big")
+    digest = hashlib.sha256(bytes(body)).digest()
+    path.write_bytes(head + bytes(body) + digest)
+
+    return SnapshotInfo(
+        path=path,
+        format_version=FORMAT_VERSION,
+        created=meta["created"],
+        store_version=meta["store_version"],
+        triples=meta["triples"],
+        terms=meta["terms"],
+        phrases=meta["phrases"],
+        section_bytes={name: len(sections[name]) for name in _SECTIONS},
+    )
+
+
+# --------------------------------------------------------------------- #
+# Load
+# --------------------------------------------------------------------- #
+
+def _split_sections(path: Path) -> tuple[dict, dict[str, memoryview], bool]:
+    """Verify the container and return (meta, name → payload view, swap)."""
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    head_len = len(_MAGIC) + 5
+    if len(data) < head_len + 32 or not data.startswith(_MAGIC):
+        raise SnapshotError(f"not a compiled snapshot: {path}")
+    format_version, big_endian = struct.unpack_from("<IB", data, len(_MAGIC))
+    if format_version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot format {format_version} "
+            f"(this build reads format {FORMAT_VERSION}); recompile with "
+            f"`repro compile`"
+        )
+    body = data[head_len:-32]
+    if hashlib.sha256(body).digest() != data[-32:]:
+        raise SnapshotError(
+            f"snapshot checksum mismatch: {path} is truncated or corrupt"
+        )
+    view = memoryview(body)
+    (meta_len,) = struct.unpack_from("<Q", view, 0)
+    offset = 8
+    meta = json.loads(bytes(view[offset:offset + meta_len]).decode("utf-8"))
+    offset += meta_len
+    (section_count,) = struct.unpack_from("<I", view, offset)
+    offset += 4
+    payloads: dict[str, memoryview] = {}
+    for _ in range(section_count):
+        name_len = view[offset]
+        offset += 1
+        name = bytes(view[offset:offset + name_len]).decode("ascii")
+        offset += name_len
+        (payload_len,) = struct.unpack_from("<Q", view, offset)
+        offset += 8
+        payloads[name] = view[offset:offset + payload_len]
+        offset += payload_len
+    missing = [name for name in _SECTIONS if name not in payloads]
+    if missing:
+        raise SnapshotError(f"snapshot missing sections: {', '.join(missing)}")
+    swap = bool(big_endian) != (sys.byteorder == "big")
+    return meta, payloads, swap
+
+
+def load_snapshot(path: str | Path) -> CompiledState:
+    """Reconstruct the full warm state from a compiled snapshot.
+
+    The returned :class:`CompiledState` carries a frozen
+    (:class:`~repro.rdf.backend.CompactBackend`) store whose term ids are
+    identical to the compile-time store's, a kernel adopted from the
+    persisted rows, preloaded graph caches, the id-level paraphrase
+    dictionary, and the material to build an entity linker without an
+    index scan.
+    """
+    from repro.paraphrase.dictionary import ParaphraseDictionary, PredicateMapping
+
+    path = Path(path)
+    meta, payloads, swap = _split_sections(path)
+
+    def reader(name: str) -> _Reader:
+        return _Reader(payloads[name], swap)
+
+    terms = _decode_terms(reader("terms"))
+    dictionary = TermDictionary.from_terms(terms)
+    literal_ids = set(reader("literals").int_array())
+
+    def permutation(name: str) -> tuple[array, array, array]:
+        section = reader(name)
+        return (section.int_array(), section.int_array(), section.int_array())
+
+    backend = CompactBackend(
+        permutation("spo"), permutation("pos"), permutation("osp"),
+        version=meta["store_version"],
+    )
+    store = TripleStore(backend=backend, dictionary=dictionary, literal_ids=literal_ids)
+    if len(store) != meta["triples"]:
+        raise SnapshotError(
+            f"snapshot holds {len(store)} triples, manifest says "
+            f"{meta['triples']} — inconsistent file"
+        )
+
+    kernel_reader = reader("kernel")
+    node_ids = kernel_reader.int_array()
+    row_lens = kernel_reader.int_array()
+    flat_steps = kernel_reader.int_array()
+    flat_neighbors = kernel_reader.int_array()
+    rows: dict[int, AdjacencyRow] = {}
+    offset = 0
+    for node, length in zip(node_ids, row_lens):
+        end = offset + length
+        rows[node] = (tuple(flat_steps[offset:end]), tuple(flat_neighbors[offset:end]))
+        offset = end
+
+    class_ids = set(reader("classes").int_array())
+    closure_reader = reader("closures")
+    superclass_closure = _decode_closure(closure_reader)
+    subclass_closure = _decode_closure(closure_reader)
+
+    label_reader = reader("labels")
+    label_index = {
+        label_reader.i64(): label_reader.text()
+        for _ in range(label_reader.u64())
+    }
+
+    linker_reader = reader("linker")
+    entries: list[tuple[int, str, str, bool]] = []
+    for _ in range(linker_reader.u64()):
+        node_id = linker_reader.i64()
+        is_class = bool(linker_reader.u8())
+        label = linker_reader.text()
+        normalized = linker_reader.text()
+        entries.append((node_id, label, normalized, is_class))
+    postings: dict[str, tuple[int, ...]] = {}
+    for _ in range(linker_reader.u64()):
+        word = linker_reader.text()
+        postings[word] = tuple(linker_reader.int_array())
+    max_degree = linker_reader.i64()
+
+    dict_reader = reader("dictionary")
+    paraphrases = ParaphraseDictionary()
+    for _ in range(dict_reader.u64()):
+        phrase = tuple(dict_reader.text().split())
+        mappings = []
+        for _ in range(dict_reader.u32()):
+            confidence = dict_reader.f64()
+            steps = tuple(dict_reader.int_array())
+            mappings.append(PredicateMapping(steps, confidence))
+        paraphrases.add(phrase, mappings)
+    if len(paraphrases) != meta["phrases"]:
+        raise SnapshotError(
+            f"snapshot holds {len(paraphrases)} phrases, manifest says "
+            f"{meta['phrases']} — inconsistent file"
+        )
+
+    kg = KnowledgeGraph(store)
+    kernel = AdjacencyKernel(store, prebuilt_rows=rows)
+    kg.preload(
+        kernel=kernel,
+        class_ids=class_ids,
+        label_index=label_index,
+        superclass_closure=superclass_closure,
+        subclass_closure=subclass_closure,
+    )
+
+    info = SnapshotInfo(
+        path=path,
+        format_version=meta["format_version"],
+        created=meta.get("created", ""),
+        store_version=meta["store_version"],
+        triples=meta["triples"],
+        terms=meta["terms"],
+        phrases=meta["phrases"],
+        section_bytes={name: len(payloads[name]) for name in payloads},
+    )
+    return CompiledState(
+        kg=kg,
+        dictionary=paraphrases,
+        info=info,
+        linker_entries=entries,
+        linker_postings=postings,
+        linker_max_degree=max_degree,
+    )

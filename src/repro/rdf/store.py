@@ -1,46 +1,69 @@
-"""Triple store with three permutation indexes over dictionary-encoded ids.
+"""Triple store facade over a pluggable storage backend.
 
-The store keeps SPO, POS, and OSP indexes as two-level dicts of sets, which
-answers any triple pattern with one or two bound positions by a direct seek
-instead of a scan.  This is the standard index layout of native RDF stores
-(e.g. gStore, RDF-3X keep the full set of permutations; three suffice here
-because each pattern shape has at least one index whose prefix is bound).
+The store answers any triple pattern with one or two bound positions by a
+direct seek instead of a scan, via three permutation indexes (SPO, POS,
+OSP).  The physical index layout is a :class:`repro.rdf.backend.
+StoreBackend` chosen per workload:
 
-All mutation goes through :meth:`add`; the store is append-only except for
-:meth:`remove`, which the paraphrase-dictionary maintenance tests exercise.
+* the default :class:`~repro.rdf.backend.DictBackend` is mutable —
+  the right shape while triples stream in during build/mining;
+* :class:`~repro.rdf.backend.CompactBackend` (see :meth:`TripleStore.
+  compacted`) is a frozen, sorted-column layout for serve-time replicas
+  and the compiled-snapshot format.
+
+The public API accepts and returns :class:`Triple` objects with real
+terms; the ``*_ids`` methods expose the integer layer that the matching
+and mining algorithms use directly.  All mutation goes through
+:meth:`add`/:meth:`remove`; frozen backends raise
+:class:`~repro.exceptions.StoreFrozenError`.
 """
 
 from __future__ import annotations
 
 from typing import AbstractSet, Iterable, Iterator, Mapping
 
+from repro.exceptions import StoreFrozenError
+from repro.rdf.backend import CompactBackend, DictBackend, StoreBackend
 from repro.rdf.dictionary import TermDictionary
 from repro.rdf.terms import IRI, Literal, Term, Triple
 
 _IdTriple = tuple[int, int, int]
 
-#: Shared empty views returned by the read-only accessors below; callers
-#: treat every returned set/mapping as immutable, so one instance suffices.
-_EMPTY_SET: frozenset[int] = frozenset()
-_EMPTY_MAP: dict[int, frozenset[int]] = {}
-
 
 class TripleStore:
     """An in-memory, dictionary-encoded RDF triple store.
 
-    The public API accepts and returns :class:`Triple` objects with real
-    terms; the ``*_ids`` methods expose the integer layer that the matching
-    and mining algorithms use directly.
+    Parameters
+    ----------
+    backend:
+        The physical index (defaults to a fresh mutable
+        :class:`~repro.rdf.backend.DictBackend`).
+    dictionary:
+        The term dictionary to encode against.  Sharing one between
+        stores keeps ids stable — how :meth:`compacted` and the snapshot
+        loader preserve every id-indexed side structure.
+    literal_ids:
+        The ids of literal terms already present in ``backend``.
     """
 
-    def __init__(self) -> None:
-        self.dictionary = TermDictionary()
-        self._spo: dict[int, dict[int, set[int]]] = {}
-        self._pos: dict[int, dict[int, set[int]]] = {}
-        self._osp: dict[int, dict[int, set[int]]] = {}
-        self._size = 0
-        self._literal_ids: set[int] = set()
-        self._version = 0
+    def __init__(
+        self,
+        backend: StoreBackend | None = None,
+        dictionary: TermDictionary | None = None,
+        literal_ids: Iterable[int] | None = None,
+    ) -> None:
+        self.dictionary = dictionary if dictionary is not None else TermDictionary()
+        self._backend: StoreBackend = backend if backend is not None else DictBackend()
+        self._literal_ids: set[int] = set(literal_ids) if literal_ids is not None else set()
+
+    @property
+    def backend(self) -> StoreBackend:
+        """The physical index this facade delegates to (read-only handle)."""
+        return self._backend
+
+    @property
+    def writable(self) -> bool:
+        return self._backend.writable
 
     @property
     def version(self) -> int:
@@ -49,8 +72,28 @@ class TripleStore:
         Anything derived from the store's contents — the adjacency kernel,
         the serving layer's answer cache — keys or stamps itself with this
         value, so a stale derivation is detectable by a plain int compare.
+        A frozen (compacted/snapshot-loaded) store keeps the version it
+        was built from.
         """
-        return self._version
+        return self._backend.version
+
+    def compacted(self) -> "TripleStore":
+        """A frozen, read-optimized copy of this store.
+
+        The term dictionary is *shared* (ids stay stable, so every mined
+        path, kernel row, and index entry keyed by id remains valid) and
+        the triples are re-laid-out into a
+        :class:`~repro.rdf.backend.CompactBackend`.  The copy carries the
+        current version forward.
+        """
+        backend = CompactBackend.from_triples(
+            self._backend.triples_ids(), version=self._backend.version
+        )
+        return TripleStore(
+            backend=backend,
+            dictionary=self.dictionary,
+            literal_ids=self._literal_ids,
+        )
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -58,64 +101,42 @@ class TripleStore:
 
     def add(self, triple: Triple) -> bool:
         """Insert a triple.  Returns True if it was new, False if present."""
+        if not self._backend.writable:
+            raise StoreFrozenError("cannot add to a frozen store")
         s = self.dictionary.encode(triple.subject)
         p = self.dictionary.encode(triple.predicate)
         o = self.dictionary.encode(triple.object)
         if isinstance(triple.object, Literal):
             self._literal_ids.add(o)
-        return self._add_ids(s, p, o)
+        return self._backend.add(s, p, o)
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Insert many triples; returns the number that were new."""
         return sum(1 for triple in triples if self.add(triple))
 
-    def _add_ids(self, s: int, p: int, o: int) -> bool:
-        objects = self._spo.setdefault(s, {}).setdefault(p, set())
-        if o in objects:
-            return False
-        objects.add(o)
-        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
-        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
-        self._size += 1
-        self._version += 1
-        return True
-
     def remove(self, triple: Triple) -> bool:
         """Delete a triple.  Returns True if it was present."""
+        if not self._backend.writable:
+            raise StoreFrozenError("cannot remove from a frozen store")
         s = self.dictionary.lookup_or_none(triple.subject)
         p = self.dictionary.lookup_or_none(triple.predicate)
         o = self.dictionary.lookup_or_none(triple.object)
         if s is None or p is None or o is None:
             return False
-        objects = self._spo.get(s, {}).get(p)
-        if objects is None or o not in objects:
-            return False
-        objects.discard(o)
-        self._pos[p][o].discard(s)
-        self._osp[o][s].discard(p)
-        self._prune_empty(self._spo, s, p)
-        self._prune_empty(self._pos, p, o)
-        self._prune_empty(self._osp, o, s)
-        self._size -= 1
-        self._version += 1
-        return True
-
-    @staticmethod
-    def _prune_empty(index: dict[int, dict[int, set[int]]], outer: int, inner: int) -> None:
-        level = index.get(outer)
-        if level is None:
-            return
-        if not level.get(inner):
-            level.pop(inner, None)
-        if not level:
-            index.pop(outer, None)
+        removed = self._backend.remove(s, p, o)
+        # A literal only exists as an object; once its OSP row empties no
+        # triple mentions it and the literal bookkeeping must forget it,
+        # or is_literal_id/literal_count/statistics report stale literals.
+        if removed and o in self._literal_ids and not self._backend.in_index(o):
+            self._literal_ids.discard(o)
+        return removed
 
     # ------------------------------------------------------------------ #
     # Size / membership
     # ------------------------------------------------------------------ #
 
     def __len__(self) -> int:
-        return self._size
+        return len(self._backend)
 
     def __contains__(self, triple: Triple) -> bool:
         s = self.dictionary.lookup_or_none(triple.subject)
@@ -123,10 +144,10 @@ class TripleStore:
         o = self.dictionary.lookup_or_none(triple.object)
         if s is None or p is None or o is None:
             return False
-        return o in self._spo.get(s, {}).get(p, ())
+        return self._backend.contains(s, p, o)
 
     def contains_ids(self, s: int, p: int, o: int) -> bool:
-        return o in self._spo.get(s, {}).get(p, ())
+        return self._backend.contains(s, p, o)
 
     def is_literal_id(self, term_id: int) -> bool:
         return term_id in self._literal_ids
@@ -148,7 +169,7 @@ class TripleStore:
         if -1 in (s, p, o):  # a bound term that was never stored matches nothing
             return
         decode = self.dictionary.decode
-        for sid, pid, oid in self.triples_ids(s, p, o):
+        for sid, pid, oid in self._backend.triples_ids(s, p, o):
             yield Triple(decode(sid), decode(pid), decode(oid))
 
     def _bound_id(self, term: Term | None) -> int | None:
@@ -161,88 +182,44 @@ class TripleStore:
     def triples_ids(
         self, s: int | None = None, p: int | None = None, o: int | None = None
     ) -> Iterator[_IdTriple]:
-        """Iterate id triples matching a pattern of optional bound ids.
-
-        Chooses the index whose prefix covers the bound positions so every
-        shape is answered by direct dict seeks plus one innermost loop.
-        """
-        if s is not None:
-            by_pred = self._spo.get(s, {})
-            if p is not None:
-                objects = by_pred.get(p, ())
-                if o is not None:
-                    if o in objects:
-                        yield (s, p, o)
-                else:
-                    for oid in objects:
-                        yield (s, p, oid)
-            elif o is not None:
-                for pid in self._osp.get(o, {}).get(s, ()):
-                    yield (s, pid, o)
-            else:
-                for pid, objects in by_pred.items():
-                    for oid in objects:
-                        yield (s, pid, oid)
-        elif p is not None:
-            by_obj = self._pos.get(p, {})
-            if o is not None:
-                for sid in by_obj.get(o, ()):
-                    yield (sid, p, o)
-            else:
-                for oid, subjects in by_obj.items():
-                    for sid in subjects:
-                        yield (sid, p, oid)
-        elif o is not None:
-            for sid, preds in self._osp.get(o, {}).items():
-                for pid in preds:
-                    yield (sid, pid, o)
-        else:
-            for sid, by_pred in self._spo.items():
-                for pid, objects in by_pred.items():
-                    for oid in objects:
-                        yield (sid, pid, oid)
+        """Iterate id triples matching a pattern of optional bound ids."""
+        return self._backend.triples_ids(s, p, o)
 
     def count(
         self, s: int | None = None, p: int | None = None, o: int | None = None
     ) -> int:
-        """Number of triples matching an id pattern (O(1) for common shapes)."""
-        if s is None and p is None and o is None:
-            return self._size
-        if s is not None and p is not None and o is None:
-            return len(self._spo.get(s, {}).get(p, ()))
-        if p is not None and o is not None and s is None:
-            return len(self._pos.get(p, {}).get(o, ()))
-        return sum(1 for _ in self.triples_ids(s, p, o))
+        """Number of triples matching an id pattern (O(1)/O(log n) for
+        common shapes, depending on the backend)."""
+        return self._backend.count(s, p, o)
 
     # ------------------------------------------------------------------ #
     # Read-only index views
     # ------------------------------------------------------------------ #
     #
     # These expose the permutation indexes at the id layer without leaking
-    # the private dict-of-dict-of-set layout: callers get live *views* that
+    # the backend's physical layout: callers get read-only *views* that
     # must not be mutated.  The adjacency kernel and the graph view build
-    # their caches from these instead of reaching into ``_spo``/``_pos``/
-    # ``_osp``/``_literal_ids`` directly.
+    # their caches from these instead of reaching into backend internals.
 
     def objects_ids(self, s: int, p: int) -> AbstractSet[int]:
         """Objects of ``(s, p, ?)`` — a read-only view, possibly empty."""
-        return self._spo.get(s, _EMPTY_MAP).get(p, _EMPTY_SET)
+        return self._backend.objects_ids(s, p)
 
     def subjects_ids(self, p: int, o: int) -> AbstractSet[int]:
         """Subjects of ``(?, p, o)`` — a read-only view, possibly empty."""
-        return self._pos.get(p, _EMPTY_MAP).get(o, _EMPTY_SET)
+        return self._backend.subjects_ids(p, o)
 
     def out_index(self, s: int) -> Mapping[int, AbstractSet[int]]:
         """The SPO row of a subject: predicate → object set (read-only)."""
-        return self._spo.get(s, _EMPTY_MAP)
+        return self._backend.out_index(s)
 
     def in_index(self, o: int) -> Mapping[int, AbstractSet[int]]:
         """The OSP row of an object: subject → predicate set (read-only)."""
-        return self._osp.get(o, _EMPTY_MAP)
+        return self._backend.in_index(o)
 
     def objects_of_predicate(self, p: int) -> Iterator[int]:
         """Distinct object ids appearing with predicate ``p``."""
-        return iter(self._pos.get(p, _EMPTY_MAP))
+        return self._backend.objects_of_predicate(p)
 
     def iter_out_rows(self) -> Iterator[tuple[int, Mapping[int, AbstractSet[int]]]]:
         """Every subject's SPO row: ``(subject, predicate → object set)``.
@@ -252,7 +229,7 @@ class TripleStore:
         amortizes per-subject work over all its triples.  Rows are
         read-only views.
         """
-        return iter(self._spo.items())
+        return self._backend.iter_out_rows()
 
     def iter_literal_ids(self) -> Iterator[int]:
         """Ids of every stored literal term."""
@@ -266,34 +243,36 @@ class TripleStore:
     # ------------------------------------------------------------------ #
 
     def subject_ids(self) -> Iterator[int]:
-        return iter(self._spo)
+        return self._backend.subject_ids()
 
     def predicate_ids(self) -> Iterator[int]:
-        return iter(self._pos)
+        return self._backend.predicate_ids()
 
     def object_ids(self) -> Iterator[int]:
-        return iter(self._osp)
+        return self._backend.object_ids()
 
     def subjects(self) -> Iterator[Term]:
-        return (self.dictionary.decode(sid) for sid in self._spo)
+        return (self.dictionary.decode(sid) for sid in self._backend.subject_ids())
 
     def predicates(self) -> Iterator[Term]:
-        return (self.dictionary.decode(pid) for pid in self._pos)
+        return (self.dictionary.decode(pid) for pid in self._backend.predicate_ids())
 
     def objects(self) -> Iterator[Term]:
-        return (self.dictionary.decode(oid) for oid in self._osp)
+        return (self.dictionary.decode(oid) for oid in self._backend.object_ids())
 
     def node_ids(self) -> set[int]:
         """Ids of all graph nodes (subjects and non-literal objects)."""
-        nodes = set(self._spo)
-        nodes.update(oid for oid in self._osp if oid not in self._literal_ids)
+        nodes = set(self._backend.subject_ids())
+        nodes.update(
+            oid for oid in self._backend.object_ids() if oid not in self._literal_ids
+        )
         return nodes
 
     def statistics(self) -> dict[str, int]:
         """Headline dataset statistics, in the shape of the paper's Table 4."""
         return {
-            "triples": self._size,
+            "triples": len(self._backend),
             "nodes": len(self.node_ids()),
-            "predicates": len(self._pos),
+            "predicates": sum(1 for _ in self._backend.predicate_ids()),
             "literals": len(self._literal_ids),
         }

@@ -109,6 +109,7 @@ class QAEngine:
         kg: KnowledgeGraph,
         dictionary: ParaphraseDictionary,
         config: EngineConfig | None = None,
+        base_linker: EntityLinker | None = None,
     ):
         self.config = config if config is not None else EngineConfig()
         self.kg = kg
@@ -126,7 +127,9 @@ class QAEngine:
             metrics=self.metrics,
             name="serve.link_cache",
         )
-        self.linker = CachingLinker(EntityLinker(kg), self.link_cache, kg.store)
+        if base_linker is None:
+            base_linker = EntityLinker(kg)
+        self.linker = CachingLinker(base_linker, self.link_cache, kg.store)
         self._system = GAnswer(
             kg,
             dictionary,
@@ -154,6 +157,28 @@ class QAEngine:
         self._ready = False
         self._closed = False
         self._warm_lock = threading.Lock()
+
+    @classmethod
+    def from_snapshot(
+        cls, path, config: EngineConfig | None = None
+    ) -> "QAEngine":
+        """An engine booted from a compiled snapshot (``repro compile``).
+
+        The snapshot restores the frozen store, the prebuilt kernel and
+        graph caches, the id-level paraphrase dictionary, and the
+        compiled linker index — :meth:`warm` then finds everything
+        already built, so cold start is dominated by file decode instead
+        of parsing, re-indexing, and label scanning.
+        """
+        from repro.rdf.snapshot import load_snapshot
+
+        state = load_snapshot(path)
+        return cls(
+            state.kg,
+            state.dictionary,
+            config,
+            base_linker=state.build_linker(),
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle

@@ -1,0 +1,169 @@
+"""Backend equivalence: DictBackend and CompactBackend answer identically.
+
+The compact backend is a frozen, sorted-column re-encoding of the same
+index; every id-level read — all eight triple-pattern shapes, counts,
+adjacency rows, distinct-id streams — must return exactly what the dict
+backend returns, or query results would depend on how the store was
+loaded.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import StoreFrozenError
+from repro.rdf import IRI, Literal, Triple, TripleStore
+from repro.rdf.backend import CompactBackend, DictBackend
+
+
+def t(s, p, o):
+    obj = o if isinstance(o, Literal) else IRI(o)
+    return Triple(IRI(s), IRI(p), obj)
+
+
+TRIPLES = [
+    t("ex:banderas", "ex:spouse", "ex:griffith"),
+    t("ex:banderas", "ex:starring", "ex:philadelphia_film"),
+    t("ex:banderas", "ex:type", "ex:Actor"),
+    t("ex:hanks", "ex:starring", "ex:philadelphia_film"),
+    t("ex:hanks", "ex:type", "ex:Actor"),
+    t("ex:banderas", "ex:height", Literal("1.74")),
+    t("ex:griffith", "ex:spouse", "ex:banderas"),
+]
+
+
+@pytest.fixture
+def pair():
+    """(dict-backed store, compact re-encoding of the same store)."""
+    store = TripleStore()
+    store.add_all(TRIPLES)
+    return store, store.compacted()
+
+
+def all_ids(backend):
+    return sorted(
+        set(backend.subject_ids()) | set(backend.predicate_ids())
+        | set(backend.object_ids())
+    )
+
+
+def assert_equivalent(dict_backend, compact_backend):
+    assert len(dict_backend) == len(compact_backend)
+    ids = all_ids(dict_backend)
+    assert ids == all_ids(compact_backend)
+    assert sorted(dict_backend.triples_ids()) == sorted(compact_backend.triples_ids())
+    probe = ids + [max(ids, default=0) + 1]  # one id no triple uses
+    for s in probe:
+        assert sorted(dict_backend.out_index(s).items()) == sorted(
+            (p, set(objects))
+            for p, objects in compact_backend.out_index(s).items()
+        )
+        assert sorted(dict_backend.in_index(s).items()) == sorted(
+            (p, set(subjects))
+            for p, subjects in compact_backend.in_index(s).items()
+        )
+        for p in probe:
+            assert dict_backend.objects_ids(s, p) == compact_backend.objects_ids(s, p)
+            assert dict_backend.subjects_ids(p, s) == compact_backend.subjects_ids(p, s)
+            for bound in (
+                (s, None, None), (None, p, None), (None, None, s),
+                (s, p, None), (s, None, p), (None, s, p), (s, p, s),
+                (None, None, None),
+            ):
+                assert sorted(dict_backend.triples_ids(*bound)) == sorted(
+                    compact_backend.triples_ids(*bound)
+                ), bound
+                assert dict_backend.count(*bound) == compact_backend.count(*bound), bound
+
+
+class TestEquivalence:
+    def test_fixture_store(self, pair):
+        store, compact = pair
+        assert_equivalent(store.backend, compact.backend)
+
+    def test_iter_out_rows_same_content(self, pair):
+        store, compact = pair
+        dict_rows = {
+            s: {p: set(objects) for p, objects in row.items()}
+            for s, row in store.backend.iter_out_rows()
+        }
+        compact_rows = {
+            s: {p: set(objects) for p, objects in row.items()}
+            for s, row in compact.backend.iter_out_rows()
+        }
+        assert dict_rows == compact_rows
+
+    def test_objects_of_predicate(self, pair):
+        store, compact = pair
+        for p in store.predicate_ids():
+            assert sorted(store.backend.objects_of_predicate(p)) == sorted(
+                compact.backend.objects_of_predicate(p)
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        triples=st.lists(
+            st.tuples(
+                st.integers(0, 7), st.integers(0, 4), st.integers(0, 7)
+            ),
+            max_size=40,
+        )
+    )
+    def test_property_equivalence(self, triples):
+        dict_backend = DictBackend()
+        for s, p, o in triples:
+            dict_backend.add(s, p, o)
+        compact = CompactBackend.from_triples(
+            dict_backend.triples_ids(), version=dict_backend.version
+        )
+        assert_equivalent(dict_backend, compact)
+
+    def test_from_triples_dedups(self):
+        compact = CompactBackend.from_triples([(1, 2, 3), (1, 2, 3), (0, 2, 3)])
+        assert len(compact) == 2
+
+
+class TestFrozen:
+    def test_compact_backend_rejects_mutation(self):
+        compact = CompactBackend.from_triples([(1, 2, 3)])
+        with pytest.raises(StoreFrozenError):
+            compact.add(4, 5, 6)
+        with pytest.raises(StoreFrozenError):
+            compact.remove(1, 2, 3)
+
+    def test_compacted_store_rejects_mutation(self, pair):
+        _, compact = pair
+        assert not compact.writable
+        with pytest.raises(StoreFrozenError):
+            compact.add(t("ex:new", "ex:p", "ex:o"))
+        with pytest.raises(StoreFrozenError):
+            compact.remove(TRIPLES[0])
+
+    def test_frozen_add_does_not_grow_shared_dictionary(self, pair):
+        store, compact = pair
+        size_before = len(store.dictionary)
+        with pytest.raises(StoreFrozenError):
+            compact.add(t("ex:unseen", "ex:unseen_p", "ex:unseen_o"))
+        assert len(store.dictionary) == size_before
+
+    def test_version_carried_forward(self, pair):
+        store, compact = pair
+        assert compact.version == store.version
+
+
+class TestCompactedStore:
+    def test_term_level_queries_match(self, pair):
+        store, compact = pair
+        assert set(compact.triples()) == set(store.triples())
+        assert set(compact.triples(subject=IRI("ex:banderas"))) == set(
+            store.triples(subject=IRI("ex:banderas"))
+        )
+        assert compact.statistics() == store.statistics()
+
+    def test_shares_term_ids(self, pair):
+        store, compact = pair
+        assert compact.dictionary is store.dictionary
+
+    def test_literals_survive(self, pair):
+        store, compact = pair
+        assert sorted(compact.iter_literal_ids()) == sorted(store.iter_literal_ids())

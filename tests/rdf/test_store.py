@@ -159,6 +159,31 @@ class TestVocabulary:
         assert len(predicates) == 4
 
 
+class TestLiteralBookkeeping:
+    def test_remove_last_use_drops_literal_id(self, store):
+        """Removing the only triple holding a literal must also drop the
+        id from the literal set, or statistics()/is_literal_id keep
+        reporting a literal the store no longer contains."""
+        literal_id = store.dictionary.lookup(Literal("1.74"))
+        assert store.remove(t("ex:banderas", "ex:height", Literal("1.74")))
+        assert not store.is_literal_id(literal_id)
+        assert store.statistics()["literals"] == 0
+        assert list(store.iter_literal_ids()) == []
+
+    def test_remove_keeps_literal_while_still_used(self, store):
+        store.add(t("ex:griffith", "ex:height", Literal("1.74")))
+        literal_id = store.dictionary.lookup(Literal("1.74"))
+        store.remove(t("ex:banderas", "ex:height", Literal("1.74")))
+        assert store.is_literal_id(literal_id)
+        assert store.statistics()["literals"] == 1
+
+    def test_readd_after_full_removal(self, store):
+        triple = t("ex:banderas", "ex:height", Literal("1.74"))
+        store.remove(triple)
+        assert store.add(triple)
+        assert store.is_literal_id(store.dictionary.lookup(Literal("1.74")))
+
+
 # ---------------------------------------------------------------------- #
 # Property-based: the three permutation indexes always agree.
 # ---------------------------------------------------------------------- #

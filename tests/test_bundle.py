@@ -85,3 +85,99 @@ class TestBundleRoundTrip:
         graph_path.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
         with pytest.raises(ReproError):
             load_bundle(bundle_dir)
+
+    def test_truncated_dictionary_rejected(self, setup, tmp_path):
+        """The manifest's phrase count guards dictionary.json the same way
+        the triple count guards graph.nt (it used to go unchecked: a
+        truncated dictionary silently loaded with fewer phrases)."""
+        kg, dictionary = setup
+        bundle_dir = save_bundle(tmp_path / "bundle", kg, dictionary)
+        dictionary_path = bundle_dir / "dictionary.json"
+        payload = json.loads(dictionary_path.read_text())
+        for phrase in sorted(payload)[: len(payload) // 2]:
+            del payload[phrase]
+        dictionary_path.write_text(json.dumps(payload))
+        with pytest.raises(ReproError, match="phrases"):
+            load_bundle(bundle_dir)
+
+    def test_corrupt_dictionary_json_rejected(self, setup, tmp_path):
+        kg, dictionary = setup
+        bundle_dir = save_bundle(tmp_path / "bundle", kg, dictionary)
+        dictionary_path = bundle_dir / "dictionary.json"
+        dictionary_path.write_text(dictionary_path.read_text()[:-40])
+        with pytest.raises(ReproError, match="truncated or corrupt"):
+            load_bundle(bundle_dir)
+
+    def test_v1_manifest_still_loads(self, setup, tmp_path):
+        """Bundles written before the snapshot era carry format_version 1
+        and no snapshot member; they must keep loading via the text path."""
+        kg, dictionary = setup
+        bundle_dir = save_bundle(tmp_path / "bundle", kg, dictionary)
+        manifest_path = bundle_dir / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 1
+        manifest.pop("snapshot", None)
+        manifest_path.write_text(json.dumps(manifest))
+        loaded_kg, loaded_dictionary = load_bundle(bundle_dir)
+        assert len(loaded_kg.store) == len(kg.store)
+        assert len(loaded_dictionary) == len(dictionary)
+
+
+class TestSnapshotBundle:
+    def test_snapshot_member_written(self, setup, tmp_path):
+        kg, dictionary = setup
+        bundle_dir = save_bundle(
+            tmp_path / "bundle", kg, dictionary, include_snapshot=True
+        )
+        assert (bundle_dir / "graph.snap").exists()
+        manifest = json.loads((bundle_dir / "manifest.json").read_text())
+        assert manifest["snapshot"] == "graph.snap"
+        assert manifest["format_version"] == 2
+
+    def test_snapshot_load_preserves_term_ids(self, setup, tmp_path):
+        kg, dictionary = setup
+        bundle_dir = save_bundle(
+            tmp_path / "bundle", kg, dictionary, include_snapshot=True
+        )
+        loaded_kg, loaded_dictionary = load_bundle(bundle_dir)
+        # The snapshot path freezes ids; the text path re-assigns them.
+        assert (
+            loaded_kg.store.dictionary.terms_in_id_order()
+            == kg.store.dictionary.terms_in_id_order()
+        )
+        assert len(loaded_dictionary) == len(dictionary)
+
+    def test_snapshot_answers_match_text_path(self, setup, tmp_path):
+        kg, dictionary = setup
+        bundle_dir = save_bundle(
+            tmp_path / "bundle", kg, dictionary, include_snapshot=True
+        )
+        snap_kg, snap_dictionary = load_bundle(bundle_dir)
+        text_kg, text_dictionary = load_bundle(bundle_dir, prefer_snapshot=False)
+        question = "Who was married to an actor that played in Philadelphia?"
+        from_snapshot = GAnswer(snap_kg, snap_dictionary).answer(question)
+        from_text = GAnswer(text_kg, text_dictionary).answer(question)
+        assert [str(a) for a in from_snapshot.answers] == [
+            str(a) for a in from_text.answers
+        ]
+
+    def test_missing_snapshot_falls_back_to_text(self, setup, tmp_path):
+        kg, dictionary = setup
+        bundle_dir = save_bundle(
+            tmp_path / "bundle", kg, dictionary, include_snapshot=True
+        )
+        (bundle_dir / "graph.snap").unlink()
+        loaded_kg, _ = load_bundle(bundle_dir)
+        assert len(loaded_kg.store) == len(kg.store)
+
+    def test_corrupt_snapshot_rejected(self, setup, tmp_path):
+        kg, dictionary = setup
+        bundle_dir = save_bundle(
+            tmp_path / "bundle", kg, dictionary, include_snapshot=True
+        )
+        snap_path = bundle_dir / "graph.snap"
+        raw = bytearray(snap_path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        snap_path.write_bytes(raw)
+        with pytest.raises(ReproError, match="snapshot"):
+            load_bundle(bundle_dir)
