@@ -170,13 +170,31 @@ def cmd_serve(args) -> int:
     from repro.serve import build_server
 
     engine = _build_engine(args)
-    server = build_server(engine, host=args.host, port=args.port)
-    host, port = server.server_address[:2]
     source = (
         f"snapshot {args.snapshot}" if args.snapshot
         else f"bundle {args.bundle}" if args.bundle
         else args.dataset
     )
+    if args.workers > 1:
+        # Pre-fork: bind in the parent, print the address, then fork the
+        # workers (each resets + rewarms its copy of this engine) and
+        # supervise.  The mmapped snapshot pages are shared across forks.
+        from repro.serve import PreforkServer
+
+        supervisor = PreforkServer(
+            engine, host=args.host, port=args.port, workers=args.workers
+        )
+        host, port = supervisor.start()
+        print(
+            f"repro serve listening on http://{host}:{port} "
+            f"(source={source}, workers={args.workers}, "
+            f"pool={engine.config.pool_size}x{args.workers}, "
+            f"store v{engine.store_version})",
+            flush=True,
+        )
+        return supervisor.run()
+    server = build_server(engine, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
     print(
         f"repro serve listening on http://{host}:{port} "
         f"(source={source}, pool={engine.config.pool_size}, "
@@ -349,6 +367,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
         "--port", type=int, default=8765, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (>1 = pre-fork with SO_REUSEPORT; each "
+        "worker runs its own pool, sharing the mmapped graph pages)",
     )
     serve.add_argument(
         "--dataset", choices=("dbpedia-mini", "synthetic"), default="dbpedia-mini",

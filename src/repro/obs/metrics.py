@@ -87,3 +87,34 @@ def _summarize(values: list[float]) -> dict:
         "mean": sum(values) / len(values),
         "total": sum(values),
     }
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Combine :meth:`Metrics.snapshot` dicts from independent registries.
+
+    The pre-fork serving layer aggregates per-worker registries into one
+    cluster view: counters add, histogram summaries combine exactly
+    (count/total sum, min/max extremize, mean recomputed from the
+    combined totals).  Per-value percentiles cannot be merged from
+    summaries and are deliberately absent — same shape as a single
+    worker's snapshot.
+    """
+    counters: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, summary in snapshot.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = dict(summary)
+                continue
+            merged["count"] += summary["count"]
+            merged["total"] += summary["total"]
+            merged["min"] = min(merged["min"], summary["min"])
+            merged["max"] = max(merged["max"], summary["max"])
+            merged["mean"] = merged["total"] / merged["count"] if merged["count"] else 0.0
+    return {
+        "counters": dict(sorted(counters.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }

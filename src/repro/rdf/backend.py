@@ -8,12 +8,14 @@ workload:
   two-level dicts of sets.  Mutable, O(1) add/remove, the right shape for
   the build/mining phase where triples stream in incrementally.
 * :class:`CompactBackend` — the same three permutations as parallel
-  sorted ``array('q')`` columns answered by bisect seeks (the RDF-3X
-  layout).  Frozen after construction, allocation-lean, and directly
-  persistable: the compiled-snapshot format
-  (:mod:`repro.rdf.snapshot`) writes the column bytes verbatim, so a
-  serving replica rebuilds the index with ``array.frombytes`` instead of
-  re-inserting every triple.
+  sorted int64 columns answered by bisect seeks (the RDF-3X layout).
+  Frozen after construction, allocation-lean, and directly persistable:
+  the compiled-snapshot format (:mod:`repro.rdf.snapshot`) writes the
+  column bytes verbatim.  Columns may be **owned** ``array('q')``
+  instances or **borrowed** ``memoryview`` casts over an ``mmap`` of the
+  snapshot file — the zero-copy path: every bisect seek reads the
+  page-cache copy of the file directly, so N forked serving workers
+  share one physical copy of the triple columns.
 
 Nothing outside :mod:`repro.rdf` should import this module: all access
 goes through the :class:`StoreBackend` protocol via the
@@ -29,6 +31,12 @@ from typing import AbstractSet, Iterable, Iterator, Mapping, Protocol, runtime_c
 from repro.exceptions import StoreFrozenError
 
 IdTriple = tuple[int, int, int]
+
+#: A sorted int64 column: an owned ``array('q')`` or a borrowed
+#: ``memoryview`` (format ``'q'``) over a snapshot mapping.  Both support
+#: ``len``, indexing, slicing, iteration, and ``tobytes()`` — everything
+#: the bisect seeks and the snapshot writer need.
+IntColumn = array | memoryview
 
 #: Shared empty views returned by the read-only accessors below; callers
 #: treat every returned set/mapping as immutable, so one instance suffices.
@@ -243,7 +251,7 @@ class DictBackend:
         return iter(self._osp)
 
 
-def _run_bounds(column: array, value: int, lo: int, hi: int) -> tuple[int, int]:
+def _run_bounds(column: IntColumn, value: int, lo: int, hi: int) -> tuple[int, int]:
     """The [lo, hi) run of ``value`` inside a sorted column slice."""
     return (
         bisect_left(column, value, lo, hi),
@@ -254,14 +262,20 @@ def _run_bounds(column: array, value: int, lo: int, hi: int) -> tuple[int, int]:
 class CompactBackend:
     """Frozen, read-optimized backend: sorted permutation columns.
 
-    Each permutation (SPO, POS, OSP) is three parallel ``array('q')``
-    columns sorted lexicographically by the permutation's key order;
-    any pattern with bound positions narrows to a contiguous run with
-    at most two rounds of bisects.  Compared to :class:`DictBackend`
-    this trades O(1) point updates (mutation raises
-    :class:`StoreFrozenError`) for a fraction of the memory — 9 machine
-    words per triple instead of hash tables of boxed ints — and for a
-    layout that serializes/deserializes as raw bytes.
+    Each permutation (SPO, POS, OSP) is three parallel int64 columns
+    sorted lexicographically by the permutation's key order; any pattern
+    with bound positions narrows to a contiguous run with at most two
+    rounds of bisects.  Compared to :class:`DictBackend` this trades
+    O(1) point updates (mutation raises :class:`StoreFrozenError`) for a
+    fraction of the memory — 9 machine words per triple instead of hash
+    tables of boxed ints — and for a layout that serializes as raw bytes.
+
+    Columns are :data:`IntColumn` — either owned ``array('q')``
+    instances (``from_triples``, the copying snapshot loader) or
+    borrowed ``memoryview`` casts over an ``mmap`` of a snapshot file
+    (the zero-copy loader).  The seek code is identical for both; a
+    borrowed column keeps the underlying mapping alive for as long as
+    the backend exists.
 
     Every ``count`` shape with one or two bound positions is O(log n):
     it is a run length, never an iteration.
@@ -276,9 +290,9 @@ class CompactBackend:
 
     def __init__(
         self,
-        spo: tuple[array, array, array],
-        pos: tuple[array, array, array],
-        osp: tuple[array, array, array],
+        spo: tuple[IntColumn, IntColumn, IntColumn],
+        pos: tuple[IntColumn, IntColumn, IntColumn],
+        osp: tuple[IntColumn, IntColumn, IntColumn],
         version: int = 0,
     ):
         self._spo_s, self._spo_p, self._spo_o = spo
@@ -440,7 +454,7 @@ class CompactBackend:
 
     @staticmethod
     def _group_runs(
-        keys: array, values: array, lo: int, hi: int
+        keys: IntColumn, values: IntColumn, lo: int, hi: int
     ) -> dict[int, frozenset[int]]:
         """Group a sorted [lo, hi) slice into {key: frozenset(values)}."""
         grouped: dict[int, frozenset[int]] = {}
@@ -472,7 +486,7 @@ class CompactBackend:
             index = end
 
     @staticmethod
-    def _distinct(column: array) -> Iterator[int]:
+    def _distinct(column: IntColumn) -> Iterator[int]:
         size = len(column)
         index = 0
         while index < size:
@@ -493,12 +507,13 @@ class CompactBackend:
     # Persistence surface (repro.rdf.snapshot only)
     # ------------------------------------------------------------------ #
 
-    def permutation_columns(self) -> dict[str, tuple[array, array, array]]:
+    def permutation_columns(self) -> dict[str, tuple[IntColumn, IntColumn, IntColumn]]:
         """The raw sorted columns, keyed by permutation name.
 
         Only :mod:`repro.rdf.snapshot` should call this: the columns are
         the live index, returned without copying so the snapshot writer
-        can stream ``tobytes()`` straight out.
+        can stream ``tobytes()`` straight out.  On an mmap-loaded backend
+        the tuples hold borrowed ``memoryview`` columns.
         """
         return {
             "spo": (self._spo_s, self._spo_p, self._spo_o),

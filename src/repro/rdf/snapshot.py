@@ -18,9 +18,25 @@ snapshot is exactly that: one versioned, checksummed binary file holding
   portable-JSON re-resolution).
 
 Because every id is stable across the round-trip, loading is direct
-reconstruction — ``array.frombytes`` plus dict assembly — with no
+reconstruction — dict assembly over borrowed byte ranges — with no
 parsing, no re-encoding, no re-mining, and no index rebuild.  See
 ``scripts/bench_cold_start.py`` for the text-load vs snapshot-load gap.
+
+Loading has two modes (``load_snapshot(path, mode=...)``):
+
+* ``"mmap"`` (default) — the file is memory-mapped and the three
+  permutation columns become ``memoryview`` casts straight over the
+  mapping: the triple index is **never copied into process memory**.
+  The kernel rows, closures, and dictionary are still materialized as
+  Python objects, but the columns — the bulk of a large snapshot — stay
+  in the page cache, shared read-only between every process that maps
+  the same file.  This is what makes pre-fork serving
+  (:mod:`repro.serve.prefork`) cheap: N workers, one physical copy.
+* ``"copy"`` — the historical behavior: the file is read once and every
+  column is an owned ``array('q')``.  The fallback when the snapshot
+  was written on a machine of the opposite byte order (views cannot be
+  byteswapped in place), and the reference the equivalence tests hold
+  the mmap path against.
 
 File layout::
 
@@ -37,6 +53,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import mmap
 import struct
 import sys
 from array import array
@@ -83,7 +100,8 @@ def _pack_str(text: str) -> bytes:
     return struct.pack("<I", len(data)) + data
 
 
-def _pack_array(values: array) -> bytes:
+def _pack_array(values) -> bytes:
+    """Length-prefixed int64 column bytes (owned array or borrowed view)."""
     return struct.pack("<Q", len(values)) + values.tobytes()
 
 
@@ -130,6 +148,20 @@ class _Reader:
         if self._swap:
             values.byteswap()
         return values
+
+    def int_column(self):
+        """A zero-copy int64 view over the payload (array when swapping).
+
+        The returned ``memoryview`` borrows the underlying buffer — on
+        the mmap path that is the file mapping itself, so consuming it
+        reads page-cache bytes with no intermediate copy.  A snapshot of
+        foreign byte order cannot be viewed in place and falls back to
+        the owned, byteswapped :meth:`int_array`.
+        """
+        if self._swap:
+            return self.int_array()
+        count = self.u64()
+        return self._take(count * 8).cast("q")
 
     def done(self) -> bool:
         return self._offset == len(self._view)
@@ -193,9 +225,9 @@ def _encode_closure(closure: dict[int, frozenset[int]]) -> bytes:
 
 
 def _decode_closure(reader: _Reader) -> dict[int, frozenset[int]]:
-    keys = reader.int_array()
-    lens = reader.int_array()
-    flat = reader.int_array()
+    keys = reader.int_column()
+    lens = reader.int_column()
+    flat = reader.int_column()
     closure: dict[int, frozenset[int]] = {}
     offset = 0
     for key, length in zip(keys, lens):
@@ -228,7 +260,13 @@ class SnapshotInfo:
 
 @dataclass(slots=True)
 class CompiledState:
-    """Everything a serving replica needs, reconstructed from a snapshot."""
+    """Everything a serving replica needs, reconstructed from a snapshot.
+
+    ``mapping`` is the ``mmap`` the triple columns borrow from when the
+    snapshot was loaded zero-copy (None on the copying path).  It is
+    kept here — and implicitly by every ``memoryview`` column — so the
+    mapping outlives the state; dropping the state releases it.
+    """
 
     kg: KnowledgeGraph
     dictionary: "ParaphraseDictionary"
@@ -236,6 +274,7 @@ class CompiledState:
     linker_entries: list[tuple[int, str, str, bool]]
     linker_postings: dict[str, tuple[int, ...]]
     linker_max_degree: int
+    mapping: mmap.mmap | None = None
 
     def build_linker(self, **kwargs) -> "EntityLinker":
         """An :class:`EntityLinker` over the compiled label-index entries.
@@ -389,14 +428,33 @@ def compile_snapshot(
 # Load
 # --------------------------------------------------------------------- #
 
-def _split_sections(path: Path) -> tuple[dict, dict[str, memoryview], bool]:
-    """Verify the container and return (meta, name → payload view, swap)."""
-    try:
-        data = path.read_bytes()
-    except OSError as exc:
-        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+def _split_sections(
+    path: Path, mode: str
+) -> tuple[dict, dict[str, memoryview], bool, mmap.mmap | None]:
+    """Verify the container; return (meta, name → payload view, swap, mapping).
+
+    ``mode="mmap"`` maps the file read-only and every payload view
+    borrows from the mapping (returned so callers keep it alive);
+    ``mode="copy"`` reads the file into one bytes object — the only
+    materialization, the per-section views borrow from it.  Either way
+    the sha256 digest is verified over the body before any decoding, so
+    a flipped bit surfaces here, never as silently wrong answers.
+    """
+    if mode == "mmap":
+        try:
+            with open(path, "rb") as handle:
+                mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError) as exc:
+            raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+        data = memoryview(mapping)
+    else:
+        mapping = None
+        try:
+            data = memoryview(path.read_bytes())
+        except OSError as exc:
+            raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
     head_len = len(_MAGIC) + 5
-    if len(data) < head_len + 32 or not data.startswith(_MAGIC):
+    if len(data) < head_len + 32 or bytes(data[: len(_MAGIC)]) != _MAGIC:
         raise SnapshotError(f"not a compiled snapshot: {path}")
     format_version, big_endian = struct.unpack_from("<IB", data, len(_MAGIC))
     if format_version != FORMAT_VERSION:
@@ -405,12 +463,11 @@ def _split_sections(path: Path) -> tuple[dict, dict[str, memoryview], bool]:
             f"(this build reads format {FORMAT_VERSION}); recompile with "
             f"`repro compile`"
         )
-    body = data[head_len:-32]
-    if hashlib.sha256(body).digest() != data[-32:]:
+    view = data[head_len:len(data) - 32]
+    if hashlib.sha256(view).digest() != bytes(data[len(data) - 32:]):
         raise SnapshotError(
             f"snapshot checksum mismatch: {path} is truncated or corrupt"
         )
-    view = memoryview(body)
     (meta_len,) = struct.unpack_from("<Q", view, 0)
     offset = 8
     meta = json.loads(bytes(view[offset:offset + meta_len]).decode("utf-8"))
@@ -431,10 +488,10 @@ def _split_sections(path: Path) -> tuple[dict, dict[str, memoryview], bool]:
     if missing:
         raise SnapshotError(f"snapshot missing sections: {', '.join(missing)}")
     swap = bool(big_endian) != (sys.byteorder == "big")
-    return meta, payloads, swap
+    return meta, payloads, swap, mapping
 
 
-def load_snapshot(path: str | Path) -> CompiledState:
+def load_snapshot(path: str | Path, mode: str = "mmap") -> CompiledState:
     """Reconstruct the full warm state from a compiled snapshot.
 
     The returned :class:`CompiledState` carries a frozen
@@ -443,22 +500,35 @@ def load_snapshot(path: str | Path) -> CompiledState:
     persisted rows, preloaded graph caches, the id-level paraphrase
     dictionary, and the material to build an entity linker without an
     index scan.
+
+    ``mode="mmap"`` (default) maps the file and hands the backend
+    zero-copy ``memoryview`` columns — the triple index is never
+    duplicated into process memory, and concurrent processes mapping the
+    same file share one page-cache copy.  ``mode="copy"`` reads the file
+    once and builds owned ``array('q')`` columns (the pre-mmap behavior,
+    kept as the cross-endian fallback and the equivalence reference).
     """
     from repro.paraphrase.dictionary import ParaphraseDictionary, PredicateMapping
 
+    if mode not in ("mmap", "copy"):
+        raise ValueError(f"unknown snapshot load mode {mode!r} (mmap|copy)")
     path = Path(path)
-    meta, payloads, swap = _split_sections(path)
+    meta, payloads, swap, mapping = _split_sections(path, mode)
 
     def reader(name: str) -> _Reader:
         return _Reader(payloads[name], swap)
 
     terms = _decode_terms(reader("terms"))
     dictionary = TermDictionary.from_terms(terms)
-    literal_ids = set(reader("literals").int_array())
+    literal_ids = set(reader("literals").int_column())
 
-    def permutation(name: str) -> tuple[array, array, array]:
+    def permutation(name: str) -> tuple:
+        # The zero-copy path: each column is a memoryview cast over the
+        # mapping (no frombytes, no materialization).  Copy mode keeps
+        # owned arrays; a byte-order mismatch forces them in either mode.
         section = reader(name)
-        return (section.int_array(), section.int_array(), section.int_array())
+        take = section.int_column if mode == "mmap" else section.int_array
+        return (take(), take(), take())
 
     backend = CompactBackend(
         permutation("spo"), permutation("pos"), permutation("osp"),
@@ -472,10 +542,10 @@ def load_snapshot(path: str | Path) -> CompiledState:
         )
 
     kernel_reader = reader("kernel")
-    node_ids = kernel_reader.int_array()
-    row_lens = kernel_reader.int_array()
-    flat_steps = kernel_reader.int_array()
-    flat_neighbors = kernel_reader.int_array()
+    node_ids = kernel_reader.int_column()
+    row_lens = kernel_reader.int_column()
+    flat_steps = kernel_reader.int_column()
+    flat_neighbors = kernel_reader.int_column()
     rows: dict[int, AdjacencyRow] = {}
     offset = 0
     for node, length in zip(node_ids, row_lens):
@@ -483,7 +553,7 @@ def load_snapshot(path: str | Path) -> CompiledState:
         rows[node] = (tuple(flat_steps[offset:end]), tuple(flat_neighbors[offset:end]))
         offset = end
 
-    class_ids = set(reader("classes").int_array())
+    class_ids = set(reader("classes").int_column())
     closure_reader = reader("closures")
     superclass_closure = _decode_closure(closure_reader)
     subclass_closure = _decode_closure(closure_reader)
@@ -505,7 +575,7 @@ def load_snapshot(path: str | Path) -> CompiledState:
     postings: dict[str, tuple[int, ...]] = {}
     for _ in range(linker_reader.u64()):
         word = linker_reader.text()
-        postings[word] = tuple(linker_reader.int_array())
+        postings[word] = tuple(linker_reader.int_column())
     max_degree = linker_reader.i64()
 
     dict_reader = reader("dictionary")
@@ -551,4 +621,5 @@ def load_snapshot(path: str | Path) -> CompiledState:
         linker_entries=entries,
         linker_postings=postings,
         linker_max_degree=max_degree,
+        mapping=mapping,
     )

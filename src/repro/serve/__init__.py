@@ -15,6 +15,7 @@ Entry points: ``repro serve`` (CLI), :func:`QAEngine.ask` (in-process),
 from repro.serve.admission import AdmissionController, AdmissionRejected
 from repro.serve.cache import CachingLinker, TTLCache, answer_cache_key, normalize_question
 from repro.serve.engine import EngineConfig, QAEngine, ServedSystem
+from repro.serve.prefork import PreforkServer, supports_reuseport
 from repro.serve.server import QAServer, build_server
 
 __all__ = [
@@ -22,6 +23,7 @@ __all__ = [
     "AdmissionRejected",
     "CachingLinker",
     "EngineConfig",
+    "PreforkServer",
     "QAEngine",
     "QAServer",
     "ServedSystem",
@@ -29,4 +31,5 @@ __all__ = [
     "answer_cache_key",
     "build_server",
     "normalize_question",
+    "supports_reuseport",
 ]

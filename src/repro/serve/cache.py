@@ -98,9 +98,17 @@ class TTLCache:
                 self._evictions += 1
                 self.metrics.incr(f"{self.name}.evict")
 
-    def clear(self) -> None:
+    def clear(self, reset_stats: bool = False) -> None:
+        """Drop every entry; ``reset_stats`` also zeroes the lifetime
+        hit/miss/eviction counters (a forked worker starts both fresh —
+        inherited entries carry the parent's clock anchors and inherited
+        counters would misattribute the parent's traffic)."""
         with self._lock:
             self._entries.clear()
+            if reset_stats:
+                self._hits = 0
+                self._misses = 0
+                self._evictions = 0
 
     def __len__(self) -> int:
         with self._lock:

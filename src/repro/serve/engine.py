@@ -88,7 +88,10 @@ class EngineResult:
     answer: Answer
     degraded: bool = False
     #: Monotonic timestamp of computation — informational only; freshness
-    #: is enforced by the answer cache's own TTL clock.
+    #: is enforced by the answer cache's own TTL clock.  Only meaningful
+    #: within the process that computed it: monotonic anchors do not
+    #: travel across a fork, which is why :meth:`QAEngine.reset_after_fork`
+    #: drops inherited cache entries instead of trusting their stamps.
     computed_at: float = field(default_factory=time.monotonic)
 
 
@@ -239,6 +242,45 @@ class QAEngine:
         """
         self.kg.refresh()
 
+    def reset_after_fork(self) -> "QAEngine":
+        """Re-anchor every per-process structure in a forked worker.
+
+        ``os.fork()`` copies the engine's Python state but not its
+        threads, and monotonic clock anchors taken in the parent are not
+        meaningful in the child (``CLOCK_MONOTONIC`` happens to be
+        system-wide on Linux, but nothing guarantees it elsewhere, and a
+        cache entry stamped before the fork describes the parent's
+        traffic either way).  Call this in the child — while it is still
+        single-threaded, before serving — to rebuild:
+
+        * the worker pool (the parent's pool threads do not exist here);
+        * the admission controller (fresh in-flight/peak accounting);
+        * the answer/link caches (entries + stats dropped; TTL anchors
+          restart on this process's clock);
+        * the metrics registry, trace-id counter, and uptime anchor.
+
+        The expensive shared state — knowledge graph, kernel rows,
+        dictionary, linker index, and any mmap-backed triple columns —
+        is untouched: that is exactly what the fork is sharing.
+        Returns ``self``; call :meth:`warm` afterwards to flip ready.
+        """
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.pool_size, thread_name_prefix="qa-engine"
+        )
+        self.admission = AdmissionController(
+            capacity=self.config.pool_size + self.config.queue_limit,
+            metrics=self.metrics,
+        )
+        self.metrics.reset()
+        self.answer_cache.clear(reset_stats=True)
+        self.link_cache.clear(reset_stats=True)
+        self._warm_lock = threading.Lock()
+        self._trace_ids = itertools.count(1)
+        self._started_at = time.monotonic()
+        self._ready = False
+        self._closed = False
+        return self
+
     def close(self) -> None:
         self._closed = True
         self._pool.shutdown(wait=True)
@@ -260,19 +302,26 @@ class QAEngine:
         question: str,
         deadline_s: float | None = None,
         trace: bool = False,
+        use_cache: bool = True,
     ) -> dict:
         """Answer one question through admission control and the pool.
 
         Returns the JSON-ready response dict (see :meth:`_render`).
         Raises :class:`AdmissionRejected` when the request budget is full.
+        ``use_cache=False`` bypasses the answer cache in both directions
+        (no lookup, no store) — the load test's cache-miss passes use it
+        to measure the engine instead of the cache.
         """
         with self.admission.admit():
-            future = self._submit(question, deadline_s, trace)
+            future = self._submit(question, deadline_s, trace, use_cache)
             result, tracer, from_cache = future.result()
         return self._render(result, tracer, from_cache)
 
     def batch(
-        self, questions: list[str], deadline_s: float | None = None
+        self,
+        questions: list[str],
+        deadline_s: float | None = None,
+        use_cache: bool = True,
     ) -> list[dict]:
         """Fan a list of questions out over the pool; one response per
         question, in order.  Questions the admission budget rejects come
@@ -285,7 +334,9 @@ class QAEngine:
             except AdmissionRejected:
                 pending.append((None, None))
                 continue
-            pending.append((self._submit(question, deadline_s, False), token))
+            pending.append(
+                (self._submit(question, deadline_s, False, use_cache), token)
+            )
         responses: list[dict] = []
         for future, token in pending:
             if future is None:
@@ -307,7 +358,9 @@ class QAEngine:
         Treat the result as read-only — cached answers are shared.
         """
         with self.admission.admit():
-            result, _tracer, _cached = self._submit(question, deadline_s, False).result()
+            result, _tracer, _cached = self._submit(
+                question, deadline_s, False, True
+            ).result()
         return result.answer
 
     def as_system(self) -> "ServedSystem":
@@ -319,26 +372,33 @@ class QAEngine:
     # ------------------------------------------------------------------ #
 
     def _submit(
-        self, question: str, deadline_s: float | None, trace: bool
+        self, question: str, deadline_s: float | None, trace: bool,
+        use_cache: bool = True,
     ) -> Future:
         if self._closed:
             raise RuntimeError("engine is closed")
-        return self._pool.submit(self._process, question, deadline_s, trace)
+        return self._pool.submit(
+            self._process, question, deadline_s, trace, use_cache
+        )
 
     def _process(
-        self, question: str, deadline_s: float | None, trace: bool
+        self, question: str, deadline_s: float | None, trace: bool,
+        use_cache: bool = True,
     ) -> tuple[EngineResult, "obs.Tracer | None", bool]:
         started = time.monotonic()
         self.metrics.incr("serve.requests")
         key = answer_cache_key(
             question, self.store_version, self.config.fingerprint()
         )
-        cached = self.answer_cache.get(key)
-        if cached is not None:
-            self.metrics.observe(
-                "serve.latency_ms", (time.monotonic() - started) * 1000.0
-            )
-            return cached, None, True
+        if use_cache:
+            cached = self.answer_cache.get(key)
+            if cached is not None:
+                self.metrics.observe(
+                    "serve.latency_ms", (time.monotonic() - started) * 1000.0
+                )
+                return cached, None, True
+        else:
+            self.metrics.incr("serve.cache_bypass")
 
         degraded = self.admission.pressure() >= self.config.degrade_pressure
         system = self._degraded_system if degraded else self._system
@@ -353,9 +413,11 @@ class QAEngine:
         result = EngineResult(answer=answer, degraded=degraded)
         if answer.terminated_by == "deadline":
             self.metrics.incr("serve.deadline_expired")
-        elif not degraded:
+        elif not degraded and use_cache:
             # Partial (deadline-cut) and degraded answers are never cached:
             # a later uncontended request should get the full-quality one.
+            # Bypassed requests don't store either — a cache-miss
+            # measurement pass must not warm the cache it is avoiding.
             self.answer_cache.put(key, result)
         self.metrics.observe(
             "serve.latency_ms", (time.monotonic() - started) * 1000.0

@@ -3,25 +3,50 @@
 One thread per connection (``ThreadingHTTPServer``); actual answering
 concurrency is still bounded by the engine's worker pool + admission
 budget, so a thundering herd turns into fast 429s, not an overload.
+For true parallelism across cores, :mod:`repro.serve.prefork` runs N
+processes each holding one of these servers over a shared listening
+port — a :class:`QAServer` can adopt an already-bound socket for that.
 
 Routes::
 
-    POST /ask      {"question": str, "deadline_s"?: float, "trace"?: bool}
-    POST /batch    {"questions": [str, ...], "deadline_s"?: float}
-    GET  /healthz  liveness/readiness + store version
-    GET  /metrics  the engine's counters and histogram summaries
-    GET  /stats    caches, admission, kernel, config
+    POST /ask      {"question": str, "deadline_s"?: float, "trace"?: bool,
+                    "no_cache"?: bool}
+    POST /batch    {"questions": [str, ...], "deadline_s"?: float,
+                    "no_cache"?: bool}
+    GET  /healthz  liveness/readiness + store version (+ worker pid/index)
+    GET  /metrics  the engine's counters and histogram summaries;
+                   in a multi-worker deployment, aggregated across workers
+    GET  /stats    caches, admission, kernel, config (always this worker)
 
-Error mapping: malformed body → 400, unknown route → 404, admission
-budget exhausted → 429 with a ``Retry-After`` hint.  Every response body
-is JSON, including errors (``{"error": ...}``).
+Error mapping: malformed body → 400, missing ``Content-Length`` → 411,
+oversized body → 413, unknown route → 404, admission budget exhausted →
+429 with a ``Retry-After`` hint.  Every response body is JSON, including
+errors (``{"error": ...}``).
+
+Two transport-level invariants the handler maintains:
+
+* **Keep-alive never desynchronizes.**  A request rejected before its
+  body was read (411/413) answers with ``Connection: close`` and drops
+  the connection — otherwise the unread body bytes would be parsed as
+  the next request's request line, poisoning every subsequent exchange
+  on the connection.
+* **A disconnected client is not an error.**  ``BrokenPipeError`` /
+  ``ConnectionResetError`` while writing means the client hung up;
+  the handler counts ``serve.client_disconnects`` and stops writing
+  instead of logging an internal error and pushing a 500 at a dead
+  socket.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import socket
+import urllib.error
+import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.obs.metrics import merge_snapshots
 from repro.serve.admission import AdmissionRejected
 from repro.serve.engine import QAEngine
 
@@ -30,9 +55,32 @@ __all__ = ["QAServer", "build_server"]
 #: Cap on accepted request bodies — a question is a sentence, not a corpus.
 MAX_BODY_BYTES = 1 << 20
 
+#: Budget for one sibling-worker metrics fetch during aggregation.
+PEER_TIMEOUT_S = 2.0
+
 
 class QAServer(ThreadingHTTPServer):
-    """A ``ThreadingHTTPServer`` that owns a reference to the engine."""
+    """A ``ThreadingHTTPServer`` that owns a reference to the engine.
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)`` to bind — ignored when ``sock`` is given.
+    engine:
+        The warm :class:`QAEngine` answering requests.
+    sock:
+        An already-bound listening socket to adopt instead of binding a
+        fresh one.  The pre-fork supervisor binds (``SO_REUSEPORT`` or a
+        single shared socket) in the parent and each worker wraps its
+        inherited socket this way.
+    worker:
+        ``{"index": int, "pid": int, "workers": int}`` identifying this
+        process in a multi-worker deployment (surfaced on ``/healthz``).
+    peers:
+        Sibling admin endpoints ``[{"index": int, "url": str}, ...]``
+        (including this worker's own entry); when set, ``GET /metrics``
+        aggregates counters and histograms across all of them.
+    """
 
     daemon_threads = True
     #: Let quick restarts (tests, CI) rebind the port immediately.
@@ -42,9 +90,31 @@ class QAServer(ThreadingHTTPServer):
     #: with connection resets.
     request_queue_size = 128
 
-    def __init__(self, address: tuple[str, int], engine: QAEngine):
-        super().__init__(address, _Handler)
+    def __init__(
+        self,
+        address: tuple[str, int],
+        engine: QAEngine,
+        sock: socket.socket | None = None,
+        worker: dict | None = None,
+        peers: list[dict] | None = None,
+    ):
+        if sock is None:
+            super().__init__(address, _Handler)
+        else:
+            # Adopt the inherited socket: skip bind, replace the fresh
+            # unbound socket the base constructor made, then activate
+            # (listen() on an already-listening socket is idempotent).
+            super().__init__(address, _Handler, bind_and_activate=False)
+            self.socket.close()
+            self.socket = sock
+            self.server_address = sock.getsockname()
+            host, port = self.server_address[:2]
+            self.server_name = host
+            self.server_port = port
+            self.server_activate()
         self.engine = engine
+        self.worker = worker
+        self.peers = peers
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -64,10 +134,16 @@ class _Handler(BaseHTTPRequestHandler):
                 "ready": engine.ready,
                 "uptime_s": round(engine.uptime_s(), 3),
                 "store_version": engine.store_version,
+                "pid": os.getpid(),
             }
+            if self.server.worker is not None:
+                body["worker"] = self.server.worker
             self._send_json(200 if engine.ready else 503, body)
         elif self.path == "/metrics":
-            self._send_json(200, engine.metrics.snapshot())
+            if self.server.peers:
+                self._send_json(200, self._cluster_metrics())
+            else:
+                self._send_json(200, engine.metrics.snapshot())
         elif self.path == "/stats":
             self._send_json(200, engine.stats())
         else:
@@ -80,7 +156,7 @@ class _Handler(BaseHTTPRequestHandler):
             return
         payload = self._read_json()
         if payload is None:
-            return  # _read_json already answered with a 400
+            return  # _read_json already answered
         try:
             if self.path == "/ask":
                 self._handle_ask(engine, payload)
@@ -96,6 +172,10 @@ class _Handler(BaseHTTPRequestHandler):
                 },
                 headers={"Retry-After": "1"},
             )
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up while we were answering; nothing to send
+            # and nobody to send it to.
+            self._client_disconnected()
         except Exception as error:  # pragma: no cover - defensive surface
             engine.metrics.incr("serve.internal_errors")
             self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
@@ -115,6 +195,7 @@ class _Handler(BaseHTTPRequestHandler):
             question,
             deadline_s=deadline_s,
             trace=bool(payload.get("trace", False)),
+            use_cache=not bool(payload.get("no_cache", False)),
         )
         self._send_json(200, response)
 
@@ -133,17 +214,92 @@ class _Handler(BaseHTTPRequestHandler):
         if deadline_s is _INVALID:
             self._send_json(400, {"error": "'deadline_s' must be a positive number"})
             return
-        responses = engine.batch(questions, deadline_s=deadline_s)
+        responses = engine.batch(
+            questions,
+            deadline_s=deadline_s,
+            use_cache=not bool(payload.get("no_cache", False)),
+        )
         self._send_json(200, {"responses": responses})
+
+    # ------------------------------------------------------------------ #
+    # Cluster introspection
+    # ------------------------------------------------------------------ #
+
+    def _cluster_metrics(self) -> dict:
+        """``/metrics`` aggregated across every worker's admin endpoint.
+
+        The local registry is read directly; siblings are fetched over
+        their loopback admin ports with a short timeout.  A worker that
+        cannot be reached (mid-respawn) is reported in its per-worker
+        entry and simply missing from the merged totals — aggregation
+        degrades, it never 500s.
+        """
+        local_index = (self.server.worker or {}).get("index")
+        snapshots: list[dict] = []
+        workers: list[dict] = []
+        for peer in self.server.peers:
+            entry: dict = {"index": peer["index"], "url": peer["url"]}
+            if peer["index"] == local_index:
+                snap = self.server.engine.metrics.snapshot()
+                entry["pid"] = os.getpid()
+            else:
+                try:
+                    with urllib.request.urlopen(
+                        f"{peer['url']}/metrics", timeout=PEER_TIMEOUT_S
+                    ) as response:
+                        snap = json.loads(response.read())
+                    with urllib.request.urlopen(
+                        f"{peer['url']}/healthz", timeout=PEER_TIMEOUT_S
+                    ) as response:
+                        entry["pid"] = json.loads(response.read()).get("pid")
+                except (urllib.error.URLError, ConnectionError, OSError, TimeoutError) as exc:
+                    entry["error"] = str(exc)
+                    workers.append(entry)
+                    continue
+            entry["counters"] = snap.get("counters", {})
+            snapshots.append(snap)
+            workers.append(entry)
+        merged = merge_snapshots(snapshots)
+        merged["workers"] = workers
+        return merged
 
     # ------------------------------------------------------------------ #
     # Plumbing
     # ------------------------------------------------------------------ #
 
     def _read_json(self) -> dict | None:
-        length = int(self.headers.get("Content-Length") or 0)
-        if length <= 0 or length > MAX_BODY_BYTES:
-            self._send_json(400, {"error": "request body required (JSON object)"})
+        """The request body as a JSON object, or None after answering.
+
+        Rejections that happen *before* the body was consumed (missing
+        length, oversized) close the connection: on HTTP/1.1 keep-alive
+        the unread body would otherwise be parsed as the next request.
+        """
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            # Chunked or absent framing: we cannot know where the body
+            # ends, so we cannot drain it — reject and close.
+            self._send_json(
+                411, {"error": "Content-Length required (JSON object body)"},
+                close=True,
+            )
+            return None
+        try:
+            length = int(length_header)
+        except ValueError:
+            length = -1
+        if length <= 0:
+            self._send_json(
+                400, {"error": "request body required (JSON object)"}, close=True
+            )
+            return None
+        if length > MAX_BODY_BYTES:
+            # Refusing to read MAX+ bytes is the point; the unread body
+            # makes the connection unusable, so it goes down with the 413.
+            self._send_json(
+                413,
+                {"error": f"request body exceeds {MAX_BODY_BYTES} bytes"},
+                close=True,
+            )
             return None
         raw = self.rfile.read(length)
         try:
@@ -157,16 +313,32 @@ class _Handler(BaseHTTPRequestHandler):
         return payload
 
     def _send_json(
-        self, status: int, body: dict, headers: dict[str, str] | None = None
+        self,
+        status: int,
+        body: dict,
+        headers: dict[str, str] | None = None,
+        close: bool = False,
     ) -> None:
         encoded = json.dumps(body, default=str).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(encoded)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(encoded)
+        if close:
+            self.close_connection = True
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(encoded)))
+            if close:
+                self.send_header("Connection", "close")
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(encoded)
+        except (BrokenPipeError, ConnectionResetError):
+            self._client_disconnected()
+
+    def _client_disconnected(self) -> None:
+        """Account a mid-response hangup and stop talking to the socket."""
+        self.close_connection = True
+        self.server.engine.metrics.incr("serve.client_disconnects")
 
     def log_message(self, format: str, *args) -> None:
         # Per-request stderr lines would swamp load tests; the engine's

@@ -162,6 +162,67 @@ class TestAnswerEquivalence:
             engine.close()
 
 
+class TestMmapLoading:
+    """The zero-copy path: mmap-backed columns, equivalence with copy mode."""
+
+    @pytest.fixture(scope="class")
+    def copied(self, snapshot):
+        path, _ = snapshot
+        return load_snapshot(path, mode="copy")
+
+    def test_mmap_columns_are_borrowed_views(self, loaded):
+        """The acceptance bar for zero-copy: every permutation column of an
+        mmap-loaded backend is a memoryview over the file mapping — no
+        ``frombytes`` copy anywhere on the triple-index path."""
+        columns = loaded.kg.store.backend.permutation_columns()
+        for name, triple in columns.items():
+            for column in triple:
+                assert isinstance(column, memoryview), name
+                assert column.format == "q"
+
+    def test_copy_columns_are_owned_arrays(self, copied):
+        from array import array
+
+        columns = copied.kg.store.backend.permutation_columns()
+        for name, triple in columns.items():
+            for column in triple:
+                assert isinstance(column, array), name
+
+    def test_mapping_held_by_state(self, loaded, copied):
+        # The mmap must stay alive as long as the state (the views borrow
+        # from it); the copying path has nothing to hold.
+        assert loaded.mapping is not None
+        assert not loaded.mapping.closed
+        assert copied.mapping is None
+
+    def test_modes_see_identical_triples(self, loaded, copied):
+        assert sorted(loaded.kg.store.triples_ids()) == sorted(
+            copied.kg.store.triples_ids()
+        )
+        assert loaded.kg.kernel.full_rows() == copied.kg.kernel.full_rows()
+
+    def test_unknown_mode_rejected(self, snapshot):
+        path, _ = snapshot
+        with pytest.raises(ValueError, match="mode"):
+            load_snapshot(path, mode="chaotic")
+
+    def test_qald_answers_identical_mmap_vs_copy(self, loaded, copied):
+        """Byte-identical answers over the full QALD set whether the triple
+        index is borrowed from the page cache or owned by the process."""
+        over_mmap = GAnswer(
+            loaded.kg, loaded.dictionary, linker=loaded.build_linker()
+        )
+        over_copy = GAnswer(
+            copied.kg, copied.dictionary, linker=copied.build_linker()
+        )
+        for question in qald_questions():
+            a = over_mmap.answer(question.text)
+            b = over_copy.answer(question.text)
+            assert ([str(t) for t in a.answers], a.boolean) == (
+                [str(t) for t in b.answers], b.boolean
+            ), question.text
+
+
 class TestIntegrity:
     def _bytes(self, snapshot):
         path, _ = snapshot
