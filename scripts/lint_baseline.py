@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Regenerate the checked-in lint baseline (lint-baseline.json).
+
+The baseline grandfathers *existing* findings so `repro lint --baseline`
+only fails on new ones.  Policy: the baseline should stay **empty** —
+fix findings rather than baselining them — but when a rule is introduced
+(or tightened) against code that cannot be fixed in the same change,
+regenerate with this script, commit the result, and burn the entries
+down in follow-ups.
+
+Baseline entries key on ``(rule, path, message)`` with no line numbers,
+so unrelated edits to a baselined file do not churn the file.
+
+Usage::
+
+    PYTHONPATH=src python scripts/lint_baseline.py                # rewrite
+    PYTHONPATH=src python scripts/lint_baseline.py --check        # verify
+    PYTHONPATH=src python scripts/lint_baseline.py --rule layering
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import LintConfig, run_lint  # noqa: E402
+from repro.analysis.baseline import save_baseline  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "lint-baseline.json"
+DEFAULT_TARGET = REPO_ROOT / "src" / "repro"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=str(DEFAULT_BASELINE),
+        help="baseline file to write (default: lint-baseline.json)",
+    )
+    parser.add_argument(
+        "--rule", action="append", default=None, metavar="NAME",
+        help="restrict to one rule (repeatable); default: all rules",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify the committed baseline matches a fresh scan instead "
+        "of rewriting it (exit 1 on drift)",
+    )
+    args = parser.parse_args()
+
+    config = LintConfig(rules=tuple(args.rule) if args.rule else None)
+    report = run_lint([DEFAULT_TARGET], config)
+    findings = sorted(report.all_findings, key=lambda f: f.key)
+    output = Path(args.output)
+
+    if args.check:
+        fresh = [
+            {"rule": f.rule, "path": f.relpath, "message": f.message}
+            for f in findings
+        ]
+        try:
+            committed = json.loads(output.read_text()).get("findings", [])
+        except FileNotFoundError:
+            print(f"error: {output} does not exist", file=sys.stderr)
+            return 1
+        def entry_key(entry: dict) -> tuple:
+            return (
+                entry.get("rule", ""),
+                entry.get("path", ""),
+                entry.get("message", ""),
+            )
+
+        if sorted(fresh, key=entry_key) != sorted(committed, key=entry_key):
+            print(
+                f"baseline drift: scan found {len(fresh)} finding(s), "
+                f"{output.name} records {len(committed)}; regenerate with "
+                f"PYTHONPATH=src python scripts/lint_baseline.py",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{output.name} matches a fresh scan ({len(fresh)} finding(s))")
+        return 0
+
+    save_baseline(output, findings)
+    print(f"wrote {output} with {len(findings)} finding(s)")
+    if findings:
+        print(
+            "note: the baseline policy is to fix findings, not grandfather "
+            "them — burn these down.", file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Baselines: grandfather pre-existing findings, fail only on new ones.
+
+A baseline file is JSON holding finding *keys* — ``(rule, path, message)``
+triples, no line numbers — so the gate is insensitive to unrelated edits
+shifting code around.  Comparison is multiset-aware: two identical
+findings in one file need two baseline entries.
+
+``scripts/lint_baseline.py`` regenerates the file; the committed one is
+kept empty for ``repro/serve`` and ``repro/obs`` by policy (violations
+there get fixed, not suppressed — see docs/static-analysis.md).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.rulebase import Finding
+from repro.exceptions import LintError
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineDiff:
+    """Findings split against a baseline."""
+
+    #: findings not covered by the baseline — these fail the run.
+    new: tuple[Finding, ...]
+    #: findings covered (and consumed) by baseline entries.
+    known: tuple[Finding, ...]
+    #: baseline entries no finding matched — stale, the baseline should
+    #: be regenerated to shrink.
+    stale: tuple[tuple[str, str, str], ...]
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"rule": rule, "path": relpath, "message": message}
+            for rule, relpath, message in sorted(f.key for f in findings)
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: Path) -> Counter:
+    """The baseline as a multiset of finding keys."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise LintError(
+            f"baseline {path} has unsupported format "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    entries = payload.get("findings")
+    if not isinstance(entries, list):
+        raise LintError(f"baseline {path} is missing the findings list")
+    keys: Counter = Counter()
+    for entry in entries:
+        try:
+            keys[(entry["rule"], entry["path"], entry["message"])] += 1
+        except (TypeError, KeyError) as exc:
+            raise LintError(f"baseline {path} has a malformed entry: {entry!r}") from exc
+    return keys
+
+
+def diff_against_baseline(findings: list[Finding], baseline: Counter) -> BaselineDiff:
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    known: list[Finding] = []
+    for finding in findings:
+        if remaining[finding.key] > 0:
+            remaining[finding.key] -= 1
+            known.append(finding)
+        else:
+            new.append(finding)
+    stale = tuple(
+        key for key, count in sorted(remaining.items()) for _ in range(count)
+    )
+    return BaselineDiff(new=tuple(new), known=tuple(known), stale=stale)

@@ -1,0 +1,69 @@
+"""Finding model, rule base class, and the rule registry.
+
+A rule is a named check over one :class:`~repro.analysis.walker.ModuleInfo`
+at a time; the engine feeds it every module in the scanned tree and
+collects :class:`Finding` objects.  Findings are identified for baseline
+purposes by ``(rule, relpath, message)`` — deliberately *not* by line
+number, so unrelated edits above a pre-existing finding do not churn the
+baseline — while the line/column still render in reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.engine import LintConfig
+    from repro.analysis.walker import ModuleInfo
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    relpath: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Baseline identity: stable across line-number churn."""
+        return (self.rule, self.relpath, self.message)
+
+    def render(self) -> str:
+        return f"{self.relpath}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.relpath,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class Rule:
+    """Base class: subclasses set ``name``/``summary`` and implement check."""
+
+    #: kebab-case rule id, used in CLI selection, pragmas, and baselines.
+    name: str = ""
+    #: one-line description rendered by ``repro lint --list-rules``.
+    summary: str = ""
+
+    def check(self, module: "ModuleInfo", config: "LintConfig") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: "ModuleInfo", node, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            relpath=module.relpath,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )

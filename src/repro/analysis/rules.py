@@ -1,0 +1,416 @@
+"""The six project rules.  See docs/static-analysis.md for the catalog.
+
+Each rule is deliberately *syntactic*: it checks the shapes this codebase
+actually uses (``with self._lock:``, ``self.x = threading.Lock()``,
+``store.compacted()``) rather than attempting whole-program type
+inference.  Where a deliberate exception exists — the double-checked read
+in ``KnowledgeGraph.kernel`` — the code carries an inline
+``# lint: ignore[rule]`` pragma, which is visible and greppable, instead
+of a baseline entry, which is neither.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.rulebase import Finding, Rule
+from repro.analysis.scopes import (
+    enclosing_function,
+    is_self_attribute,
+    locks_held_at,
+)
+from repro.analysis.walker import (
+    ClassInfo,
+    ModuleInfo,
+    dotted_name,
+    is_single_threaded,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.engine import LintConfig
+
+#: Methods where unguarded access to guarded fields is always legal: the
+#: object cannot be shared before construction finishes.
+_CONSTRUCTION_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+def _name_matches(dotted: str | None, patterns: tuple[str, ...]) -> str | None:
+    """The first pattern ``dotted`` matches (exactly or as a ``.``-suffix)."""
+    if dotted is None:
+        return None
+    for pattern in patterns:
+        if dotted == pattern or dotted.endswith("." + pattern):
+            return pattern
+    return None
+
+
+def _walk_skipping_nested_classes(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk a method body without descending into nested class bodies.
+
+    A class defined inside a method has its own ``self``; treating its
+    attribute accesses as the outer instance's would be wrong in both
+    directions.
+    """
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.ClassDef):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class LockDisciplineRule(Rule):
+    """Guarded fields may only be touched under their declared lock."""
+
+    name = "lock-discipline"
+    summary = (
+        "fields declared via @guarded_by must be accessed inside "
+        "`with self.<lock>:` blocks"
+    )
+
+    def check(self, module: ModuleInfo, config: "LintConfig") -> Iterator[Finding]:
+        for cls in module.classes:
+            if not cls.guarded:
+                continue
+            for method_name, method in cls.methods.items():
+                if method_name in _CONSTRUCTION_METHODS:
+                    continue
+                if is_single_threaded(method):
+                    continue
+                yield from self._check_method(module, cls, method)
+
+    def _check_method(
+        self, module: ModuleInfo, cls: ClassInfo, method: ast.AST
+    ) -> Iterator[Finding]:
+        for node in _walk_skipping_nested_classes(method):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if not is_self_attribute(node):
+                continue
+            lock = cls.guarded.get(node.attr)
+            if lock is None:
+                continue
+            if lock in locks_held_at(node):
+                continue
+            access = "write to" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read of"
+            yield self.finding(
+                module,
+                node,
+                f"{access} {cls.name}.{node.attr} outside `with self.{lock}:` "
+                f"(declared lock-guarded)",
+            )
+
+
+class ForkSafetyRule(Rule):
+    """Lock/pool/socket/cache state must be re-created after a fork."""
+
+    name = "fork-safety"
+    summary = (
+        "attributes holding locks, pools, sockets, caches, or clock "
+        "anchors must be reset in reset_after_fork()"
+    )
+
+    def check(self, module: ModuleInfo, config: "LintConfig") -> Iterator[Finding]:
+        for cls in module.classes:
+            reset = cls.methods.get("reset_after_fork")
+            if reset is None:
+                continue
+            init = cls.methods.get("__init__")
+            if init is None:
+                continue
+            risky = self._risky_attributes(init, config)
+            handled = self._reset_attributes(reset, config)
+            for attr, (node, kind) in risky.items():
+                if attr in handled or attr in cls.fork_shared:
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"{cls.name}.{attr} holds {kind} state but is neither "
+                    f"re-created nor reset_after_fork()-delegated in "
+                    f"{cls.name}.reset_after_fork() (declare @fork_shared "
+                    f"if sharing it across the fork is intended)",
+                )
+
+    def _risky_attributes(
+        self, init: ast.AST, config: "LintConfig"
+    ) -> dict[str, tuple[ast.AST, str]]:
+        risky: dict[str, tuple[ast.AST, str]] = {}
+        for node in ast.walk(init):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not is_self_attribute(target):
+                    continue
+                for call in ast.walk(node.value):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    kind = _name_matches(dotted_name(call.func), config.fork_risky)
+                    if kind is not None:
+                        risky.setdefault(target.attr, (node, kind))
+                        break
+        return risky
+
+    def _reset_attributes(self, reset: ast.AST, config: "LintConfig") -> set[str]:
+        handled: set[str] = set()
+        for node in ast.walk(reset):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if is_self_attribute(target):
+                        handled.add(target.attr)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                # self.<attr>.reset_after_fork(...) delegates the reset.
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in config.reset_methods
+                    and is_self_attribute(func.value)
+                ):
+                    handled.add(func.value.attr)
+        return handled
+
+
+class FrozenStoreRule(Rule):
+    """No mutating calls on stores/backends provenanced as frozen."""
+
+    name = "frozen-store"
+    summary = (
+        "objects obtained from .compacted(), load_snapshot(), or "
+        "CompactBackend construction must not receive add/remove calls"
+    )
+
+    def check(self, module: ModuleInfo, config: "LintConfig") -> Iterator[Finding]:
+        functions = [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for func in functions:
+            yield from self._check_function(module, func, config)
+
+    def _is_frozen_expr(self, expr: ast.AST, config: "LintConfig") -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        func = expr.func
+        if isinstance(func, ast.Attribute) and func.attr in config.frozen_provenance_calls:
+            return True
+        dotted = dotted_name(func)
+        if dotted is not None and (
+            dotted in config.frozen_provenance_calls
+            or _name_matches(dotted, config.frozen_constructors) is not None
+        ):
+            return True
+        return False
+
+    def _root_name(self, expr: ast.AST) -> str | None:
+        while isinstance(expr, ast.Attribute):
+            expr = expr.value
+        if isinstance(expr, ast.Name):
+            return expr.id
+        return None
+
+    def _check_function(
+        self, module: ModuleInfo, func: ast.AST, config: "LintConfig"
+    ) -> Iterator[Finding]:
+        # Pass 1: locals (and self attributes) bound to frozen provenance
+        # anywhere in the function — order-insensitive on purpose: a
+        # mutation before the rebinding is equally suspicious in the
+        # shapes this codebase uses.
+        frozen_names: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and self._is_frozen_expr(node.value, config):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        frozen_names.add(target.id)
+                    elif is_self_attribute(target):
+                        frozen_names.add(f"self.{target.attr}")
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if self._is_frozen_expr(node.value, config) and isinstance(
+                    node.target, ast.Name
+                ):
+                    frozen_names.add(node.target.id)
+        # Parameters annotated CompactBackend are frozen by type.
+        args_node = getattr(func, "args", None)
+        if args_node is not None:
+            for arg in (
+                list(args_node.posonlyargs) + list(args_node.args) + list(args_node.kwonlyargs)
+            ):
+                annotation = arg.annotation
+                if annotation is not None:
+                    rendered = dotted_name(annotation) or (
+                        annotation.value if isinstance(annotation, ast.Constant) else None
+                    )
+                    if isinstance(rendered, str) and "CompactBackend" in rendered:
+                        frozen_names.add(arg.arg)
+        # Pass 2: mutating method calls on frozen receivers.
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if not isinstance(callee, ast.Attribute):
+                continue
+            if callee.attr not in config.mutating_store_methods:
+                continue
+            receiver = callee.value
+            if self._is_frozen_expr(receiver, config):
+                yield self.finding(
+                    module,
+                    node,
+                    f".{callee.attr}() called directly on a frozen "
+                    f"store/backend expression",
+                )
+                continue
+            root = self._root_name(receiver)
+            qualified = (
+                f"self.{receiver.attr}"
+                if is_self_attribute(receiver)
+                else root
+            )
+            if root in frozen_names or qualified in frozen_names:
+                yield self.finding(
+                    module,
+                    node,
+                    f".{callee.attr}() called on '{qualified or root}', which is "
+                    f"snapshot-loaded/compacted and therefore frozen",
+                )
+
+
+class MonotonicTimeRule(Rule):
+    """TTL/deadline arithmetic must use the monotonic clock."""
+
+    name = "monotonic-time"
+    summary = (
+        "time.time() is wall-clock (steps on NTP/suspend); deadlines, "
+        "TTLs, and durations must use time.monotonic()"
+    )
+
+    def check(self, module: ModuleInfo, config: "LintConfig") -> Iterator[Finding]:
+        if module.module.startswith(config.monotonic_exempt_modules):
+            return
+        bare_time_imported = any(
+            isinstance(node, ast.ImportFrom)
+            and node.module == "time"
+            and any(alias.name == "time" and alias.asname is None for alias in node.names)
+            for node in ast.walk(module.tree)
+        )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted == "time.time" or (dotted == "time" and bare_time_imported):
+                yield self.finding(
+                    module,
+                    node,
+                    "time.time() used; use time.monotonic() for intervals/"
+                    "deadlines (or add the module to the rule's exempt list "
+                    "if this is genuine wall-clock timestamping)",
+                )
+
+
+class LayeringRule(Rule):
+    """Lower layers must not import upper ones; no foreign _private access."""
+
+    name = "layering"
+    summary = (
+        "rdf/nlp/match/core/... must not import serve/cli/experiments; "
+        "cross-module access to _private attributes is forbidden"
+    )
+
+    def check(self, module: ModuleInfo, config: "LintConfig") -> Iterator[Finding]:
+        yield from self._check_imports(module, config)
+        if config.private_access_checked:
+            yield from self._check_private_access(module)
+
+    def _layer_of(self, module: ModuleInfo, config: "LintConfig") -> str | None:
+        best: str | None = None
+        for prefix in config.layering:
+            if module.module == prefix or module.module.startswith(prefix + "."):
+                if best is None or len(prefix) > len(best):
+                    best = prefix
+        return best
+
+    def _check_imports(self, module: ModuleInfo, config: "LintConfig") -> Iterator[Finding]:
+        layer = self._layer_of(module, config)
+        if layer is None:
+            return
+        forbidden = config.layering[layer]
+        for imported, lineno in module.imports:
+            for prefix in forbidden:
+                if imported == prefix or imported.startswith(prefix + "."):
+                    anchor = ast.AST()
+                    anchor.lineno = lineno  # type: ignore[attr-defined]
+                    anchor.col_offset = 0  # type: ignore[attr-defined]
+                    yield self.finding(
+                        module,
+                        anchor,
+                        f"{layer} must not import {imported} "
+                        f"(layer boundary: {layer} < {prefix})",
+                    )
+
+    def _check_private_access(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            attr = node.attr
+            if not attr.startswith("_") or attr.startswith("__"):
+                continue
+            receiver = node.value
+            if isinstance(receiver, ast.Name) and receiver.id in ("self", "cls"):
+                continue
+            # Module-private: the attribute is defined by something in
+            # this very file (classmethod constructors, helper tokens).
+            if attr in module.defined_private_names:
+                continue
+            # Attributes of imported *modules* (os._exit) are a stdlib
+            # affair, not a cross-layer reach into project internals.
+            if isinstance(receiver, ast.Name) and receiver.id in module.imported_names:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"access to foreign private attribute '.{attr}' "
+                f"(not defined in {module.relpath}); use or add a public "
+                f"accessor instead",
+            )
+
+
+class ExceptionDisciplineRule(Rule):
+    """Library code raises ReproError subclasses, not bare Exception."""
+
+    name = "exception-discipline"
+    summary = (
+        "raise sites must use ReproError subclasses (or builtin value "
+        "errors), never Exception/BaseException/RuntimeError"
+    )
+
+    def check(self, module: ModuleInfo, config: "LintConfig") -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            target = exc.func if isinstance(exc, ast.Call) else exc
+            dotted = dotted_name(target)
+            matched = _name_matches(dotted, config.banned_raises)
+            if matched is None and dotted not in config.banned_raises:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"raise {dotted}: public errors must be ReproError "
+                f"subclasses (see repro.exceptions) so callers can catch "
+                f"one base class",
+            )
+
+
+ALL_RULES: tuple[Rule, ...] = (
+    LockDisciplineRule(),
+    ForkSafetyRule(),
+    FrozenStoreRule(),
+    MonotonicTimeRule(),
+    LayeringRule(),
+    ExceptionDisciplineRule(),
+)
+
+RULES_BY_NAME: dict[str, Rule] = {rule.name: rule for rule in ALL_RULES}

@@ -290,6 +290,37 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis import LintConfig, run_lint
+    from repro.analysis.report import render_json, render_text
+    from repro.analysis.rules import ALL_RULES
+    from repro.exceptions import LintError
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.name:22s} {rule.summary}")
+        return 0
+    if args.paths:
+        paths = [Path(path) for path in args.paths]
+    else:
+        # Default: the installed repro package itself, wherever it lives.
+        paths = [Path(__file__).resolve().parent]
+    config = LintConfig(rules=tuple(args.rule) if args.rule else None)
+    baseline = Path(args.baseline) if args.baseline else None
+    try:
+        report = run_lint(paths, config, baseline_path=baseline)
+    except LintError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1
+
+
 def cmd_dictionary(args) -> int:
     from repro.paraphrase.path_mining import describe_path
 
@@ -419,6 +450,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     dictionary = commands.add_parser("dictionary", help="show the mined dictionary")
     dictionary.set_defaults(func=cmd_dictionary)
+
+    lint = commands.add_parser(
+        "lint",
+        help="statically check project invariants (lock discipline, fork "
+        "safety, frozen stores, monotonic time, layering, exceptions)",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files/directories to scan (default: the repro package)",
+    )
+    lint.add_argument(
+        "--rule", action="append", metavar="NAME", default=None,
+        help="run only this rule (repeatable; see --list-rules)",
+    )
+    lint.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="JSON baseline of grandfathered findings; only findings "
+        "absent from it fail the run (regenerate: scripts/lint_baseline.py)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="machine-readable report on stdout"
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    lint.set_defaults(func=cmd_lint)
 
     compile_cmd = commands.add_parser(
         "compile",

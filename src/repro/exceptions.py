@@ -71,3 +71,11 @@ class InfeasibleError(ILPError):
 
 class EvaluationError(ReproError):
     """Raised on malformed benchmark or gold-standard inputs."""
+
+
+class EngineClosedError(ReproError):
+    """Raised when a request reaches a QAEngine after close() was called."""
+
+
+class LintError(ReproError):
+    """Raised on unusable lint inputs (bad paths, syntax, baselines, rules)."""

@@ -16,8 +16,29 @@ snapshot consistent.
 from __future__ import annotations
 
 import threading
+from typing import Protocol, runtime_checkable
+
+from repro.contracts import guarded_by, single_threaded
 
 
+@runtime_checkable
+class MetricsLike(Protocol):
+    """What a component needs from a metrics sink (structural type).
+
+    Both :class:`Metrics` and :class:`NoopMetrics` satisfy it; serving
+    components accept any implementation rather than the concrete class.
+    """
+
+    def incr(self, name: str, amount: float = 1) -> None: ...
+
+    def observe(self, name: str, value: float) -> None: ...
+
+    def counter(self, name: str) -> float: ...
+
+    def snapshot(self) -> dict: ...
+
+
+@guarded_by("_lock", "counters", "histograms")
 class Metrics:
     """A recording registry of counters and histograms (thread-safe)."""
 
@@ -37,7 +58,8 @@ class Metrics:
             self.histograms.setdefault(name, []).append(value)
 
     def counter(self, name: str) -> float:
-        return self.counters.get(name, 0)
+        with self._lock:
+            return self.counters.get(name, 0)
 
     def snapshot(self) -> dict:
         """JSON-ready view: raw counters, summarized histograms."""
@@ -56,6 +78,20 @@ class Metrics:
         with self._lock:
             self.counters.clear()
             self.histograms.clear()
+
+    @single_threaded
+    def reset_after_fork(self) -> None:
+        """Re-anchor this registry in a freshly-forked, single-threaded child.
+
+        ``reset()`` under the inherited lock is not enough: if any parent
+        thread held ``_lock`` at fork time, the copied lock is locked
+        forever in the child and the first ``incr`` deadlocks.  The child
+        is single-threaded when this runs, so replacing the lock (and
+        dropping the parent's numbers) is safe and sufficient.
+        """
+        self._lock = threading.Lock()
+        self.counters = {}
+        self.histograms = {}
 
 
 class NoopMetrics:
@@ -76,6 +112,9 @@ class NoopMetrics:
         return {"counters": {}, "histograms": {}}
 
     def reset(self) -> None:
+        pass
+
+    def reset_after_fork(self) -> None:
         pass
 
 

@@ -35,6 +35,7 @@ from repro.rdf.kernel import (
     step_is_forward,
     step_predicate,
 )
+from repro.contracts import guarded_by
 from repro.rdf.store import TripleStore
 from repro.rdf.terms import IRI, Term
 
@@ -83,6 +84,7 @@ def _step_to_edge(step: int, node: int) -> Edge:
     return Edge(-step - 1, node, Direction.IN)
 
 
+@guarded_by("_kernel_lock", "_kernel")
 class KnowledgeGraph:
     """Algorithm-facing view of a triple store.
 
@@ -169,7 +171,8 @@ class KnowledgeGraph:
         one kernel — two racing builds would each be correct but would
         split the walk-path LRU and the memoized signatures between them.
         """
-        kernel = self._kernel
+        # Double-checked fast path: the one deliberate unlocked read.
+        kernel = self._kernel  # lint: ignore[lock-discipline]
         if kernel is None:
             with self._kernel_lock:
                 kernel = self._kernel

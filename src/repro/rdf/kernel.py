@@ -46,6 +46,7 @@ import threading
 from functools import lru_cache
 from typing import Iterator
 
+from repro.contracts import guarded_by
 from repro.rdf import vocab
 from repro.rdf.store import TripleStore
 
@@ -92,6 +93,7 @@ def reverse_path(path: Path) -> Path:
     return tuple(-step for step in reversed(path))
 
 
+@guarded_by("_region_lock", "_regions")
 class AdjacencyKernel:
     """Immutable flat adjacency index over one version of a triple store."""
 

@@ -19,10 +19,12 @@ import threading
 import time
 from typing import Callable
 
-from repro.obs.metrics import NoopMetrics
+from repro.contracts import guarded_by
+from repro.exceptions import ReproError
+from repro.obs.metrics import MetricsLike, NoopMetrics
 
 
-class AdmissionRejected(Exception):
+class AdmissionRejected(ReproError):
     """Raised when the bounded request budget is exhausted (HTTP 429)."""
 
     def __init__(self, capacity: int, in_flight: int):
@@ -33,6 +35,7 @@ class AdmissionRejected(Exception):
         self.in_flight = in_flight
 
 
+@guarded_by("_lock", "_in_flight", "_admitted", "_rejected", "_peak")
 class AdmissionController:
     """Counts in-flight requests against a hard capacity.
 
@@ -45,7 +48,7 @@ class AdmissionController:
     def __init__(
         self,
         capacity: int,
-        metrics=None,
+        metrics: MetricsLike | None = None,
         clock: Callable[[], float] = time.monotonic,
     ):
         if capacity < 0:

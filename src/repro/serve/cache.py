@@ -22,7 +22,8 @@ import time
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
-from repro.obs.metrics import NoopMetrics
+from repro.contracts import guarded_by, single_threaded
+from repro.obs.metrics import MetricsLike, NoopMetrics
 
 _WHITESPACE_RE = re.compile(r"\s+")
 
@@ -38,6 +39,7 @@ def normalize_question(question: str) -> str:
     return collapsed.rstrip(" ?!.").casefold()
 
 
+@guarded_by("_lock", "_entries", "_hits", "_misses", "_evictions")
 class TTLCache:
     """Thread-safe LRU cache whose entries also expire after ``ttl`` seconds.
 
@@ -51,7 +53,7 @@ class TTLCache:
         maxsize: int = 1024,
         ttl: float = 300.0,
         clock: Callable[[], float] = time.monotonic,
-        metrics=None,
+        metrics: MetricsLike | None = None,
         name: str = "serve.cache",
     ):
         if maxsize < 0:
@@ -100,15 +102,29 @@ class TTLCache:
 
     def clear(self, reset_stats: bool = False) -> None:
         """Drop every entry; ``reset_stats`` also zeroes the lifetime
-        hit/miss/eviction counters (a forked worker starts both fresh —
-        inherited entries carry the parent's clock anchors and inherited
-        counters would misattribute the parent's traffic)."""
+        hit/miss/eviction counters."""
         with self._lock:
             self._entries.clear()
             if reset_stats:
                 self._hits = 0
                 self._misses = 0
                 self._evictions = 0
+
+    @single_threaded
+    def reset_after_fork(self) -> None:
+        """Start this cache fresh in a freshly-forked, single-threaded child.
+
+        Drops entries *and* stats (inherited entries carry the parent's
+        monotonic clock anchors; inherited counters would misattribute the
+        parent's traffic) and — unlike :meth:`clear` — replaces the lock:
+        a parent thread holding ``_lock`` at fork time leaves the copied
+        lock locked forever in the child.
+        """
+        self._lock = threading.Lock()
+        self._entries = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     def __len__(self) -> int:
         with self._lock:

@@ -35,7 +35,9 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.contracts import fork_shared, guarded_by, single_threaded
 from repro.core.pipeline import Answer, GAnswer
+from repro.exceptions import EngineClosedError
 from repro.linking.linker import EntityLinker
 from repro.obs.metrics import Metrics
 from repro.paraphrase.dictionary import ParaphraseDictionary
@@ -95,6 +97,8 @@ class EngineResult:
     computed_at: float = field(default_factory=time.monotonic)
 
 
+@guarded_by("_state_lock", "_ready", "_closed")
+@fork_shared("config", "kg", "dictionary", "linker", "_system", "_degraded_system")
 class QAEngine:
     """A resident :class:`GAnswer` wrapper serving many questions.
 
@@ -160,6 +164,7 @@ class QAEngine:
         self._ready = False
         self._closed = False
         self._warm_lock = threading.Lock()
+        self._state_lock = threading.Lock()
 
     @classmethod
     def from_snapshot(
@@ -202,7 +207,8 @@ class QAEngine:
                 _ = self.kg.label_index
                 _ = self.linker.index  # builds the wrapped linker's LabelIndex
                 stats = kernel.statistics()
-            self._ready = True
+            with self._state_lock:
+                self._ready = True
             return stats
 
     def metrics_span(self, name: str):
@@ -224,7 +230,8 @@ class QAEngine:
 
     @property
     def ready(self) -> bool:
-        return self._ready and not self._closed
+        with self._state_lock:
+            return self._ready and not self._closed
 
     @property
     def store_version(self) -> int:
@@ -242,6 +249,7 @@ class QAEngine:
         """
         self.kg.refresh()
 
+    @single_threaded
     def reset_after_fork(self) -> "QAEngine":
         """Re-anchor every per-process structure in a forked worker.
 
@@ -256,8 +264,11 @@ class QAEngine:
         * the worker pool (the parent's pool threads do not exist here);
         * the admission controller (fresh in-flight/peak accounting);
         * the answer/link caches (entries + stats dropped; TTL anchors
-          restart on this process's clock);
-        * the metrics registry, trace-id counter, and uptime anchor.
+          restart on this process's clock; their *locks* are replaced —
+          a parent thread holding one at fork time leaves the copied
+          lock locked forever in the child);
+        * the metrics registry (same lock-replacement reasoning),
+          trace-id counter, uptime anchor, and the engine's own locks.
 
         The expensive shared state — knowledge graph, kernel rows,
         dictionary, linker index, and any mmap-backed triple columns —
@@ -267,14 +278,15 @@ class QAEngine:
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.pool_size, thread_name_prefix="qa-engine"
         )
+        self.metrics.reset_after_fork()
         self.admission = AdmissionController(
             capacity=self.config.pool_size + self.config.queue_limit,
             metrics=self.metrics,
         )
-        self.metrics.reset()
-        self.answer_cache.clear(reset_stats=True)
-        self.link_cache.clear(reset_stats=True)
+        self.answer_cache.reset_after_fork()
+        self.link_cache.reset_after_fork()
         self._warm_lock = threading.Lock()
+        self._state_lock = threading.Lock()
         self._trace_ids = itertools.count(1)
         self._started_at = time.monotonic()
         self._ready = False
@@ -282,7 +294,8 @@ class QAEngine:
         return self
 
     def close(self) -> None:
-        self._closed = True
+        with self._state_lock:
+            self._closed = True
         self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "QAEngine":
@@ -375,8 +388,9 @@ class QAEngine:
         self, question: str, deadline_s: float | None, trace: bool,
         use_cache: bool = True,
     ) -> Future:
-        if self._closed:
-            raise RuntimeError("engine is closed")
+        with self._state_lock:
+            if self._closed:
+                raise EngineClosedError("engine is closed")
         return self._pool.submit(
             self._process, question, deadline_s, trace, use_cache
         )

@@ -1,0 +1,103 @@
+"""Runtime behavior of the contract decorators (the static checks' anchors)."""
+
+import pytest
+
+from repro.contracts import (
+    FORK_SHARED_ATTR,
+    GUARDED_FIELDS_ATTR,
+    SINGLE_THREADED_ATTR,
+    fork_shared,
+    guarded_by,
+    single_threaded,
+)
+
+
+class TestGuardedBy:
+    def test_records_field_to_lock_mapping(self):
+        @guarded_by("_lock", "_a", "_b")
+        class Guarded:
+            pass
+
+        assert getattr(Guarded, GUARDED_FIELDS_ATTR) == {"_a": "_lock", "_b": "_lock"}
+
+    def test_stacking_merges_across_locks(self):
+        @guarded_by("_other", "_c")
+        @guarded_by("_lock", "_a")
+        class Guarded:
+            pass
+
+        assert getattr(Guarded, GUARDED_FIELDS_ATTR) == {
+            "_a": "_lock",
+            "_c": "_other",
+        }
+
+    def test_subclass_does_not_mutate_parent(self):
+        @guarded_by("_lock", "_a")
+        class Parent:
+            pass
+
+        @guarded_by("_lock", "_b")
+        class Child(Parent):
+            pass
+
+        assert getattr(Parent, GUARDED_FIELDS_ATTR) == {"_a": "_lock"}
+        assert getattr(Child, GUARDED_FIELDS_ATTR) == {"_a": "_lock", "_b": "_lock"}
+
+    def test_requires_at_least_one_field(self):
+        with pytest.raises(ValueError):
+            guarded_by("_lock")
+
+    def test_compatible_with_slots(self):
+        @guarded_by("_lock", "_a")
+        class Slotted:
+            __slots__ = ("_lock", "_a")
+
+        assert getattr(Slotted, GUARDED_FIELDS_ATTR) == {"_a": "_lock"}
+
+
+class TestForkShared:
+    def test_records_field_set(self):
+        @fork_shared("kg", "dictionary")
+        class Engine:
+            pass
+
+        assert getattr(Engine, FORK_SHARED_ATTR) == frozenset({"kg", "dictionary"})
+
+    def test_stacking_unions(self):
+        @fork_shared("b")
+        @fork_shared("a")
+        class Engine:
+            pass
+
+        assert getattr(Engine, FORK_SHARED_ATTR) == frozenset({"a", "b"})
+
+    def test_requires_at_least_one_field(self):
+        with pytest.raises(ValueError):
+            fork_shared()
+
+
+class TestSingleThreaded:
+    def test_marks_without_wrapping(self):
+        class Engine:
+            @single_threaded
+            def reset_after_fork(self):
+                return "reset"
+
+        assert getattr(Engine.reset_after_fork, SINGLE_THREADED_ATTR) is True
+        assert Engine().reset_after_fork() == "reset"
+
+
+class TestRealClassesCarryContracts:
+    def test_ttl_cache_and_metrics_declare_their_locks(self):
+        from repro.obs.metrics import Metrics
+        from repro.serve.cache import TTLCache
+
+        assert getattr(TTLCache, GUARDED_FIELDS_ATTR)["_entries"] == "_lock"
+        assert getattr(Metrics, GUARDED_FIELDS_ATTR)["counters"] == "_lock"
+
+    def test_qa_engine_declares_shared_warm_state(self):
+        from repro.serve.engine import QAEngine
+
+        shared = getattr(QAEngine, FORK_SHARED_ATTR)
+        assert {"kg", "dictionary", "config"} <= shared
+        assert getattr(QAEngine.reset_after_fork, SINGLE_THREADED_ATTR) is True

@@ -1,0 +1,124 @@
+"""Real-tree smoke: the shipped package lints clean against the committed
+baseline, and the CLI surface behaves."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import LintConfig, run_lint
+from repro.cli import main
+from repro.exceptions import LintError
+
+PACKAGE_ROOT = Path(repro.__file__).resolve().parent
+REPO_ROOT = PACKAGE_ROOT.parent.parent
+COMMITTED_BASELINE = REPO_ROOT / "lint-baseline.json"
+
+
+class TestRealTree:
+    def test_package_is_clean_with_empty_baseline(self):
+        """The committed policy: zero findings, zero baseline entries.
+
+        serve/ and obs/ violations were *fixed*, not grandfathered, so a
+        fresh scan must produce no findings at all — and the committed
+        baseline must be exactly empty (no stale residue either).
+        """
+        report = run_lint([PACKAGE_ROOT], baseline_path=COMMITTED_BASELINE)
+        assert report.new_findings == ()
+        assert report.known_findings == ()
+        assert report.stale_baseline == ()
+        assert report.ok
+
+    def test_committed_baseline_is_empty(self):
+        payload = json.loads(COMMITTED_BASELINE.read_text())
+        assert payload["findings"] == []
+
+    def test_every_rule_runs_over_the_tree(self):
+        report = run_lint([PACKAGE_ROOT])
+        assert set(report.rules_run) == {
+            "lock-discipline",
+            "fork-safety",
+            "frozen-store",
+            "monotonic-time",
+            "layering",
+            "exception-discipline",
+        }
+        assert report.files_scanned > 50
+
+    def test_the_one_sanctioned_pragma_is_counted(self):
+        # KnowledgeGraph.kernel's double-checked read is the single
+        # deliberate suppression in the tree; new pragmas should be rare
+        # and reviewed, so the count is pinned.
+        report = run_lint([PACKAGE_ROOT])
+        assert report.suppressed == 1
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(LintError, match="unknown rule"):
+            run_lint([PACKAGE_ROOT], LintConfig(rules=("no-such-rule",)))
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(LintError, match="does not exist"):
+            run_lint([tmp_path / "absent"])
+
+
+class TestCli:
+    def test_lint_exits_zero_on_clean_tree(self, capsys):
+        assert main(["lint", str(PACKAGE_ROOT)]) == 0
+        out = capsys.readouterr().out
+        assert "0 new finding(s)" in out
+
+    def test_lint_json_reports_shape(self, capsys):
+        assert main(["lint", "--json", str(PACKAGE_ROOT)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+        assert payload["files_scanned"] > 50
+        assert set(payload["counts_by_rule"]) <= set(payload["rules"])
+        assert payload["suppressed"] == 1
+
+    def test_lint_fails_on_seeded_violation(self, tmp_path, capsys):
+        # The CI gate in one test: a tree with a fresh violation exits 1.
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import time\n\n\ndef deadline(budget):\n"
+            "    return time.time() + budget\n"
+        )
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "[monotonic-time]" in out
+
+    def test_lint_baseline_grandfathers_old_findings(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import time\n\n\ndef deadline(budget):\n"
+            "    return time.time() + budget\n"
+        )
+        report = run_lint([bad])
+        from repro.analysis.baseline import save_baseline
+
+        baseline = tmp_path / "baseline.json"
+        save_baseline(baseline, list(report.all_findings))
+        assert main(["lint", "--baseline", str(baseline), str(bad)]) == 0
+        assert "baselined" in capsys.readouterr().out
+
+    def test_lint_rule_filter(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import time\n\n\ndef deadline(budget):\n"
+            "    return time.time() + budget\n"
+        )
+        assert main(["lint", "--rule", "layering", str(bad)]) == 0
+        assert main(["lint", "--rule", "monotonic-time", str(bad)]) == 1
+        capsys.readouterr()
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("lock-discipline", "fork-safety", "frozen-store",
+                     "monotonic-time", "layering", "exception-discipline"):
+            assert rule in out
+
+    def test_lint_bad_rule_exits_two(self, capsys):
+        assert main(["lint", "--rule", "no-such-rule", str(PACKAGE_ROOT)]) == 2
+        capsys.readouterr()

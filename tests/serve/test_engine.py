@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import GAnswer
+from repro.exceptions import EngineClosedError
 from repro.rdf import IRI, Literal, Triple
 from repro.serve import EngineConfig, QAEngine
 
@@ -157,5 +158,5 @@ class TestStats:
         engine = QAEngine(kg, dictionary, EngineConfig(pool_size=1))
         engine.close()
         assert engine.ready is False
-        with pytest.raises(RuntimeError):
+        with pytest.raises(EngineClosedError):
             engine.ask(BERLIN_Q)

@@ -1,0 +1,119 @@
+"""Regression tests for the fork-safety contract of reset_after_fork.
+
+``os.fork()`` copies every lock in whatever state a parent thread left it.
+If any thread held a component's lock at fork time, the child inherits a
+lock that is locked forever — the first acquire deadlocks.  These tests
+simulate that state *without* forking (hold the lock, swap in the
+post-fork reset, assert the component is usable again) so the suite stays
+fast and portable.
+"""
+
+import threading
+from collections import OrderedDict
+
+import pytest
+
+from repro.obs.metrics import Metrics
+from repro.serve import EngineConfig, QAEngine
+from repro.serve.cache import TTLCache
+
+ACQUIRE_TIMEOUT = 2.0
+
+
+def _hold_forever(lock):
+    """Acquire ``lock`` and never release it — a parent thread frozen by fork."""
+    lock.acquire()
+
+
+class TestMetricsResetAfterFork:
+    def test_replaces_a_held_lock(self):
+        metrics = Metrics()
+        metrics.incr("parent.traffic", 5)
+        _hold_forever(metrics._lock)
+
+        metrics.reset_after_fork()
+
+        # A fresh, unlocked lock: the hot path must not block.
+        assert metrics._lock.acquire(timeout=ACQUIRE_TIMEOUT)
+        metrics._lock.release()
+        metrics.incr("child.traffic")
+        assert metrics.counter("child.traffic") == 1
+
+    def test_drops_parent_numbers(self):
+        metrics = Metrics()
+        metrics.incr("parent.traffic", 5)
+        metrics.observe("parent.latency", 12.0)
+        metrics.reset_after_fork()
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["histograms"] == {}
+
+
+class TestCacheResetAfterFork:
+    def test_replaces_a_held_lock(self):
+        cache = TTLCache(maxsize=8, ttl=60.0)
+        cache.put("parent", "value")
+        _hold_forever(cache._lock)
+
+        cache.reset_after_fork()
+
+        assert cache._lock.acquire(timeout=ACQUIRE_TIMEOUT)
+        cache._lock.release()
+        cache.put("child", "value")
+        assert cache.get("child") == "value"
+
+    def test_drops_entries_and_stats(self):
+        cache = TTLCache(maxsize=8, ttl=60.0)
+        cache.put("parent", "value")
+        assert cache.get("parent") == "value"
+        cache.reset_after_fork()
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        assert isinstance(cache._entries, OrderedDict)
+
+
+class TestEngineResetAfterFork:
+    def test_delegates_lock_replacement_to_components(self, kg, dictionary):
+        engine = QAEngine(kg, dictionary, EngineConfig(pool_size=1))
+        engine.warm()
+        try:
+            engine.ask("Who is the mayor of Berlin?")
+            # Freeze every component lock the way a mid-request fork would.
+            _hold_forever(engine.metrics._lock)
+            _hold_forever(engine.answer_cache._lock)
+            _hold_forever(engine.link_cache._lock)
+            _hold_forever(engine._state_lock)
+
+            engine.reset_after_fork()
+
+            for lock in (
+                engine.metrics._lock,
+                engine.answer_cache._lock,
+                engine.link_cache._lock,
+                engine._state_lock,
+            ):
+                assert lock.acquire(timeout=ACQUIRE_TIMEOUT)
+                lock.release()
+            # The child serves normally after warm().
+            assert engine.ready is False
+            engine.warm()
+            response = engine.ask("Who is the mayor of Berlin?")
+            assert response["answers"]
+        finally:
+            engine.close()
+
+    def test_shares_warm_state_but_not_process_state(self, kg, dictionary):
+        engine = QAEngine(kg, dictionary, EngineConfig(pool_size=1))
+        engine.warm()
+        try:
+            kernel_before = engine.kg.kernel
+            pool_before = engine._pool
+            admission_before = engine.admission
+            engine.reset_after_fork()
+            assert engine.kg.kernel is kernel_before          # shared via fork
+            assert engine._pool is not pool_before            # per-process
+            assert engine.admission is not admission_before   # per-process
+            assert engine.metrics.snapshot()["counters"] == {}
+        finally:
+            engine.close()
