@@ -2,8 +2,10 @@
 
 Beyond the paper's tables: sweep the distractor padding (which grows the
 graph and every candidate list the way full DBpedia does) and check that
-answers stay identical while time grows gently.  The benchmark times the
-running example on the largest padded graph.
+answers stay identical while time grows gently.  A second axis grows a
+synthetic graph to 10^6 triples and runs the same subject-bound workload
+on single-segment vs sharded storage — identical rows required.  The
+benchmark times the running example on the largest padded graph.
 """
 
 from repro.core import GAnswer
@@ -20,10 +22,17 @@ def test_scaling_kg_size(benchmark, record_result):
         )
     )
     result = record_result(kg_size_scaling())
-    answers = {row[3] for row in result.rows}
+    distractor_rows = [r for r in result.rows if r[0].startswith("distractors=")]
+    answers = {row[3] for row in distractor_rows}
     assert len(answers) == 1  # identical answers at every scale
     assert "Melanie_Griffith" in answers.pop()
-    times = [row[2] for row in result.rows]
+    times = [row[2] for row in distractor_rows]
     # Time grows sub-linearly in the padding: 100x distractors should not
     # cost 100x the latency.
     assert times[-1] < times[0] * 100
+    # The storage axis rows come in (single, sharded) pairs per scale and
+    # must retrieve identical row counts.
+    storage_rows = [r for r in result.rows if r[0].startswith("triples=")]
+    assert storage_rows and len(storage_rows) % 2 == 0
+    for single, sharded in zip(storage_rows[::2], storage_rows[1::2]):
+        assert single[3] == sharded[3]

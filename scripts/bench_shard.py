@@ -1,0 +1,323 @@
+#!/usr/bin/env python
+"""Sharded-store benchmark + lazy-loading RSS probe (BENCH_shard.json).
+
+Per graph size (10^4, 10^5, 10^6 triples — ``--quick`` drops the last):
+
+* ``single_build_N`` / ``shard_build_N``     — frozen-backend construction;
+* ``subject_query_single_N`` / ``..._sharded_N`` — bound-subject patterns
+  (the dominant shape; sharded routes each to exactly one segment);
+* ``full_scan_single_N`` / ``..._sharded_N`` — unbound iteration (the
+  k-way merge path).
+
+Every query benchmark asserts the sharded backend returns exactly the
+rows the single compact backend returns before timing anything.
+
+At the largest size the script also **demonstrates the lazy-loading RSS
+win**: it compiles a single-file and a sharded (K segments) snapshot of
+the same graph, then re-invokes itself (``--probe``) once per form in a
+fresh interpreter that loads the snapshot and runs a subject-local
+workload (all subjects from shard 0).  The single-file load verifies and
+maps every column byte; the sharded load only faults in the state
+container plus segment 0, so its peak RSS must come out lower — recorded
+in the baseline and enforced with a hard exit code.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_shard.py --output BENCH_shard.json
+    PYTHONPATH=src python scripts/bench_shard.py --quick \
+        --check BENCH_shard.json --max-regression 3.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from itertools import zip_longest
+from pathlib import Path
+
+SCHEMA = "bench_shard/v1"
+SHARDS = 8
+FULL_SIZES = (10_000, 100_000, 1_000_000)
+QUICK_SIZES = (10_000, 100_000)
+_PROBE_SUBJECT_LIMIT = 200
+
+
+_MIN_TIMED_SECONDS = 0.1
+
+
+def _timed(fn, repeats: int) -> tuple[float, int]:
+    """Best wall-clock over at least ``repeats`` runs; fn returns its op
+    count.
+
+    Microsecond-scale regions (the bound-subject queries) keep sampling
+    until ~100 ms of cumulative measured time so a single scheduler blip
+    cannot swing the quick-mode number past the CI regression limit.
+    """
+    fn()
+    best = None
+    ops = 0
+    runs = 0
+    total = 0.0
+    while runs < repeats or total < _MIN_TIMED_SECONDS:
+        started = time.perf_counter()
+        ops = fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+        total += elapsed
+        runs += 1
+    return best, ops
+
+
+def _build_graph(total_triples: int):
+    from repro.datasets.synthetic import SyntheticConfig, build_synthetic_kg
+
+    return build_synthetic_kg(
+        SyntheticConfig.with_total_triples(total_triples, predicates=30)
+    )
+
+
+def bench_size(total: int, repeats: int, jobs: int, record) -> dict:
+    """All in-process benchmarks for one graph size; returns the stores."""
+    from repro.rdf.shard import shard_of
+
+    kg = _build_graph(total)
+    base = kg.store
+    n = len(base)
+    print(f"\n-- {total} requested triples ({n} stored) --")
+
+    def build_single():
+        return len(base.compacted())
+
+    def build_sharded():
+        return len(base.sharded(SHARDS, jobs=jobs))
+
+    record(f"single_build_{total}", _timed(build_single, repeats))
+    record(f"shard_build_{total}", _timed(build_sharded, repeats))
+
+    single = base.compacted()
+    sharded = base.sharded(SHARDS, jobs=jobs)
+    subjects = sorted(set(t[0] for t in base.triples_ids()))[::50]
+
+    # Correctness before speed: identical rows for every benchmarked shape.
+    for sid in subjects[:20]:
+        assert list(single.triples_ids(s=sid)) == list(sharded.triples_ids(s=sid))
+    pairs = zip_longest(single.triples_ids(), sharded.triples_ids())
+    assert all(a == b for a, b in pairs), "full-scan order diverged"
+
+    def subject_query(store):
+        def run():
+            rows = 0
+            for sid in subjects:
+                for _ in store.triples_ids(s=sid):
+                    rows += 1
+            return rows
+        return run
+
+    def full_scan(store):
+        def run():
+            return sum(1 for _ in store.triples_ids())
+        return run
+
+    record(f"subject_query_single_{total}", _timed(subject_query(single), repeats))
+    record(f"subject_query_sharded_{total}", _timed(subject_query(sharded), repeats))
+    record(f"full_scan_single_{total}", _timed(full_scan(single), repeats))
+    record(f"full_scan_sharded_{total}", _timed(full_scan(sharded), repeats))
+    return {"kg": kg, "shard_of": shard_of}
+
+
+def rss_probe(total: int, jobs: int) -> dict:
+    """Compile both snapshot forms and probe their load-time peak RSS."""
+    from repro.paraphrase.dictionary import ParaphraseDictionary
+    from repro.rdf.shard import shard_of
+    from repro.rdf.snapshot import compile_snapshot
+
+    kg = _build_graph(total)
+    dictionary = ParaphraseDictionary()
+    seen = set()
+    subjects = []
+    for triple in kg.store.triples_ids():
+        sid = triple[0]
+        if sid not in seen and shard_of(sid, SHARDS) == 0:
+            seen.add(sid)
+            subjects.append(sid)
+            if len(subjects) >= _PROBE_SUBJECT_LIMIT:
+                break
+
+    probe = {"triples": len(kg.store), "shards": SHARDS, "subjects": len(subjects)}
+    with tempfile.TemporaryDirectory(prefix="bench_shard_") as tmp:
+        single_path = Path(tmp) / "single.snap"
+        sharded_path = Path(tmp) / "sharded.snap"
+        compile_snapshot(single_path, kg, dictionary)
+        compile_snapshot(sharded_path, kg, dictionary, shards=SHARDS, jobs=jobs)
+        del kg  # the probes run in fresh interpreters; free the parent copy
+        for label, path in (("single", single_path), ("sharded", sharded_path)):
+            out = subprocess.run(
+                [
+                    sys.executable, __file__,
+                    "--probe", str(path),
+                    "--probe-subjects", ",".join(map(str, subjects)),
+                ],
+                capture_output=True, text=True, check=True,
+            )
+            probe[label] = json.loads(out.stdout.splitlines()[-1])
+
+    assert probe["single"]["rows"] == probe["sharded"]["rows"]
+    probe["rss_win"] = (
+        probe["sharded"]["peak_rss_kb"] < probe["single"]["peak_rss_kb"]
+    )
+    print(
+        f"\nRSS probe @ {probe['triples']} triples "
+        f"(subject-local workload, shard 0 only):\n"
+        f"  single  : {probe['single']['peak_rss_kb']:>8d} KB peak\n"
+        f"  sharded : {probe['sharded']['peak_rss_kb']:>8d} KB peak, "
+        f"segments loaded {probe['sharded']['loaded_segments']}\n"
+        f"  lazy win: {probe['rss_win']}"
+    )
+    return probe
+
+
+def _peak_rss_kb() -> int:
+    """This process's peak resident set in KB.
+
+    ``/proc/self/status`` VmHWM is preferred: unlike ``ru_maxrss`` it is
+    tied to the current address space, so it resets across ``execve`` —
+    a subprocess of a fat parent reports its *own* peak, not an inherited
+    high-water mark.
+    """
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def run_probe(snapshot: str, subjects: list[int]) -> int:
+    """Child mode: load a snapshot, run the workload, report peak RSS."""
+    from repro.rdf.snapshot import load_snapshot
+
+    state = load_snapshot(snapshot)
+    store = state.kg.store
+    rows = 0
+    for sid in subjects:
+        for _ in store.triples_ids(s=sid):
+            rows += 1
+    backend = store.backend
+    loaded = getattr(backend, "loaded_segments", lambda: None)()
+    print(json.dumps({
+        "peak_rss_kb": _peak_rss_kb(),
+        "rows": rows,
+        "loaded_segments": loaded,
+    }))
+    return 0
+
+
+def run_benchmarks(quick: bool, jobs: int) -> dict:
+    repeats = 1 if quick else 3
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    results = {}
+
+    def record(name, timing):
+        seconds, ops = timing
+        results[name] = {
+            "ops": ops,
+            "seconds": round(seconds, 6),
+            "ops_per_sec": round(ops / seconds, 2) if seconds > 0 else None,
+        }
+        print(f"  {name:28s} {ops:>9d} ops  {seconds:8.4f}s  "
+              f"{results[name]['ops_per_sec']:>14} ops/s")
+
+    print(f"shard benchmark ({'quick' if quick else 'full'}, "
+          f"K={SHARDS}, jobs={jobs}):")
+    for total in sizes:
+        bench_size(total, repeats, jobs, record)
+    probe = rss_probe(sizes[-1], jobs)
+
+    return {
+        "schema": SCHEMA,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": quick,
+        "jobs": jobs,
+        "shards": SHARDS,
+        "sizes": list(sizes),
+        "rss_probe": probe,
+        "benchmarks": results,
+    }
+
+
+def check_regression(current: dict, baseline_path: Path, max_regression: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("schema") != SCHEMA:
+        print(f"error: {baseline_path} is not a {SCHEMA} baseline", file=sys.stderr)
+        return 2
+    failures = 0
+    print(f"\nregression check against {baseline_path} (limit {max_regression}x):")
+    for name, entry in current["benchmarks"].items():
+        reference = baseline["benchmarks"].get(name)
+        if reference is None or not reference.get("ops_per_sec"):
+            print(f"  {name:28s} (no baseline — skipped)")
+            continue
+        ratio = reference["ops_per_sec"] / entry["ops_per_sec"]
+        verdict = "ok" if ratio <= max_regression else "REGRESSED"
+        print(f"  {name:28s} {entry['ops_per_sec']:>14} vs "
+              f"{reference['ops_per_sec']:>14} baseline  "
+              f"({ratio:4.2f}x slower)  {verdict}")
+        if ratio > max_regression:
+            failures += 1
+    if failures:
+        print(f"error: {failures} benchmark(s) regressed beyond "
+              f"{max_regression}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sizes, one repeat (CI smoke mode)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="segment-build worker count (default 1; 0 = auto)")
+    parser.add_argument("--output", metavar="FILE", default=None,
+                        help="write the baseline JSON here")
+    parser.add_argument("--check", metavar="FILE", default=None,
+                        help="compare against a previous baseline JSON")
+    parser.add_argument("--max-regression", type=float, default=3.0,
+                        help="fail when a benchmark is this many times "
+                        "slower than the baseline (default 3.0)")
+    parser.add_argument("--probe", metavar="SNAPSHOT", default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--probe-subjects", default="",
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.probe:
+        subjects = [int(x) for x in args.probe_subjects.split(",") if x]
+        return run_probe(args.probe, subjects)
+
+    payload = run_benchmarks(args.quick, args.jobs)
+    if not payload["rss_probe"]["rss_win"]:
+        print("error: sharded lazy load did not beat the single-file "
+              "resident size", file=sys.stderr)
+        return 1
+    if args.output:
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nbaseline written to {args.output}")
+    if args.check:
+        return check_regression(payload, Path(args.check), args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

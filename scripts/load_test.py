@@ -334,7 +334,7 @@ def run_load_test(base_url: str, clients: int, questions: list[str]) -> dict:
 # Self-hosted server (no --url)
 # --------------------------------------------------------------------- #
 
-def start_local_server(dataset: str, workers: int = 1):
+def start_local_server(dataset: str, workers: int = 1, snapshot: str | None = None):
     """``repro serve`` as a subprocess on an ephemeral port (returns
     ``(base_url, shutdown_callable)``).
 
@@ -356,6 +356,8 @@ def start_local_server(dataset: str, workers: int = 1):
         sys.executable, "-m", "repro", "serve",
         "--dataset", dataset, "--port", "0", "--workers", str(workers),
     ]
+    if snapshot:
+        command += ["--snapshot", snapshot]
     process = subprocess.Popen(
         command, env=env,
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
@@ -416,7 +418,11 @@ def check_regression(current: dict, baseline_path: Path, max_regression: float) 
 
 
 def run_sweep(
-    worker_counts: list[int], dataset: str, clients: int, questions: list[str]
+    worker_counts: list[int],
+    dataset: str,
+    clients: int,
+    questions: list[str],
+    snapshot: str | None = None,
 ) -> dict:
     """The full measurement once per worker count; cache-miss scaling +
     answer-digest agreement across the counts.
@@ -430,7 +436,9 @@ def run_sweep(
     runs: list[dict] = []
     for workers in worker_counts:
         print(f"\n=== workers={workers} ===")
-        base_url, shutdown = start_local_server(dataset, workers=workers)
+        base_url, shutdown = start_local_server(
+            dataset, workers=workers, snapshot=snapshot
+        )
         try:
             runs.append(run_load_test(base_url, clients, questions))
         finally:
@@ -468,6 +476,9 @@ def main(argv=None) -> int:
     parser.add_argument("--dataset", choices=("dbpedia-mini", "synthetic"),
                         default="synthetic",
                         help="dataset for the self-hosted server (default synthetic)")
+    parser.add_argument("--snapshot", metavar="FILE", default=None,
+                        help="serve from a compiled snapshot (single file or "
+                        "sharded manifest) instead of building the dataset")
     parser.add_argument("--clients", type=int, default=16,
                         help="concurrent client threads (default 16)")
     parser.add_argument("--workers", type=int, default=1,
@@ -506,15 +517,21 @@ def main(argv=None) -> int:
                   file=sys.stderr)
             return 2
         worker_counts = [int(n) for n in args.sweep_workers.split(",") if n.strip()]
-        payload = run_sweep(worker_counts, args.dataset, clients, questions)
+        payload = run_sweep(
+            worker_counts, args.dataset, clients, questions,
+            snapshot=args.snapshot,
+        )
     else:
         shutdown = None
         if args.url:
             base_url = args.url.rstrip("/")
         else:
-            print(f"self-hosting server (dataset={args.dataset}, "
-                  f"workers={args.workers}) ...")
-            base_url, shutdown = start_local_server(args.dataset, workers=args.workers)
+            source = f"snapshot={args.snapshot}" if args.snapshot \
+                else f"dataset={args.dataset}"
+            print(f"self-hosting server ({source}, workers={args.workers}) ...")
+            base_url, shutdown = start_local_server(
+                args.dataset, workers=args.workers, snapshot=args.snapshot
+            )
         try:
             payload = run_load_test(base_url, clients, questions)
         finally:

@@ -55,7 +55,7 @@ def _timed(fn, repeats: int) -> tuple[float, int]:
     return best, ops
 
 
-def build_scenario():
+def build_scenario(triples: int | None = None):
     from repro.datasets import (
         SyntheticConfig,
         build_phrase_dataset,
@@ -64,9 +64,15 @@ def build_scenario():
     from repro.datasets.patty_sim import scale_phrase_dataset
     from repro.datasets.synthetic import entity_pool
 
-    kg = build_synthetic_kg(
-        SyntheticConfig(entities=1000, triples_per_entity=4, predicates=30)
-    )
+    if triples is None:
+        # The committed-baseline scenario: keep it byte-stable so old
+        # BENCH_kernel.json files stay comparable.
+        config = SyntheticConfig(entities=1000, triples_per_entity=4, predicates=30)
+    else:
+        config = SyntheticConfig.with_total_triples(
+            triples, triples_per_entity=4, predicates=30
+        )
+    kg = build_synthetic_kg(config)
     dataset = scale_phrase_dataset(build_phrase_dataset(), 100, 5, entity_pool(kg))
     return kg, dataset
 
@@ -144,9 +150,9 @@ def bench_end_to_end(repeats):
     return _timed(run, repeats)
 
 
-def run_benchmarks(quick: bool, jobs: int) -> dict:
+def run_benchmarks(quick: bool, jobs: int, triples: int | None = None) -> dict:
     repeats = 1 if quick else 3
-    kg, dataset = build_scenario()
+    kg, dataset = build_scenario(triples)
     results = {}
 
     def record(name, timing):
@@ -159,12 +165,16 @@ def run_benchmarks(quick: bool, jobs: int) -> dict:
         print(f"  {name:22s} {ops:>8d} ops  {seconds:8.4f}s  "
               f"{results[name]['ops_per_sec']:>12} ops/s")
 
-    print(f"perf baseline ({'quick' if quick else 'full'}, jobs={jobs}):")
+    print(f"perf baseline ({'quick' if quick else 'full'}, jobs={jobs}, "
+          f"triples={len(kg.store)}):")
     record("kernel_build", bench_kernel_build(kg, repeats))
     record("adjacency_expansion", bench_adjacency_expansion(kg, repeats))
     record("walk_path", bench_walk_path(kg, repeats))
     record("path_mining", bench_path_mining(kg, dataset, repeats, jobs))
-    record("end_to_end_qa", bench_end_to_end(repeats))
+    if triples is None:
+        # Scale-independent (runs the curated QALD scenario) — skipped on
+        # --triples sweeps where only the synthetic graph grows.
+        record("end_to_end_qa", bench_end_to_end(repeats))
 
     return {
         "schema": SCHEMA,
@@ -173,6 +183,7 @@ def run_benchmarks(quick: bool, jobs: int) -> dict:
         "platform": platform.platform(),
         "quick": quick,
         "jobs": jobs,
+        "triples": len(kg.store),
         "kernel": kg.kernel.statistics(),
         "benchmarks": results,
     }
@@ -209,6 +220,10 @@ def main(argv=None) -> int:
                         help="one repeat per benchmark (CI smoke mode)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="mining worker count (default 1; 0 = auto)")
+    parser.add_argument("--triples", type=int, default=None, metavar="N",
+                        help="size the synthetic graph to ~N triples (up to "
+                        "10^6) instead of the committed-baseline scenario; "
+                        "skips the scale-independent end-to-end benchmark")
     parser.add_argument("--output", metavar="FILE", default=None,
                         help="write the baseline JSON here")
     parser.add_argument("--check", metavar="FILE", default=None,
@@ -218,7 +233,7 @@ def main(argv=None) -> int:
                         "slower than the baseline (default 3.0)")
     args = parser.parse_args(argv)
 
-    payload = run_benchmarks(args.quick, args.jobs)
+    payload = run_benchmarks(args.quick, args.jobs, args.triples)
     if args.output:
         Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"\nbaseline written to {args.output}")

@@ -83,8 +83,16 @@ class LintConfig:
     #: method names that count as delegated resets in reset_after_fork.
     reset_methods: tuple[str, ...] = ("reset_after_fork",)
     mutating_store_methods: tuple[str, ...] = ("add", "add_all", "remove")
-    frozen_constructors: tuple[str, ...] = ("CompactBackend", "CompactBackend.from_triples")
-    frozen_provenance_calls: tuple[str, ...] = ("compacted", "load_snapshot")
+    frozen_constructors: tuple[str, ...] = (
+        "CompactBackend",
+        "CompactBackend.from_triples",
+        "ShardedBackend",
+        "ShardedBackend.from_triples",
+        "ShardedBackend.lazy",
+    )
+    frozen_provenance_calls: tuple[str, ...] = ("compacted", "sharded", "load_snapshot")
+    #: annotation names that mark a parameter as a frozen store/backend.
+    frozen_annotations: tuple[str, ...] = ("CompactBackend", "ShardedBackend")
     #: module prefixes where wall-clock time.time() is legitimate
     #: (harness timing reports wall time by design).
     monotonic_exempt_modules: tuple[str, ...] = ("repro.experiments",)

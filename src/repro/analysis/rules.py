@@ -177,8 +177,8 @@ class FrozenStoreRule(Rule):
 
     name = "frozen-store"
     summary = (
-        "objects obtained from .compacted(), load_snapshot(), or "
-        "CompactBackend construction must not receive add/remove calls"
+        "objects obtained from .compacted()/.sharded(), load_snapshot(), or "
+        "frozen-backend construction must not receive add/remove calls"
     )
 
     def check(self, module: ModuleInfo, config: "LintConfig") -> Iterator[Finding]:
@@ -231,7 +231,7 @@ class FrozenStoreRule(Rule):
                     node.target, ast.Name
                 ):
                     frozen_names.add(node.target.id)
-        # Parameters annotated CompactBackend are frozen by type.
+        # Parameters annotated with a frozen backend type are frozen too.
         args_node = getattr(func, "args", None)
         if args_node is not None:
             for arg in (
@@ -242,7 +242,9 @@ class FrozenStoreRule(Rule):
                     rendered = dotted_name(annotation) or (
                         annotation.value if isinstance(annotation, ast.Constant) else None
                     )
-                    if isinstance(rendered, str) and "CompactBackend" in rendered:
+                    if isinstance(rendered, str) and any(
+                        name in rendered for name in config.frozen_annotations
+                    ):
                         frozen_names.add(arg.arg)
         # Pass 2: mutating method calls on frozen receivers.
         for node in ast.walk(func):

@@ -41,12 +41,16 @@ def save_bundle(
     kg: KnowledgeGraph,
     dictionary: ParaphraseDictionary,
     include_snapshot: bool = False,
+    shards: int | None = None,
 ) -> Path:
     """Write the setup into ``directory`` (created if needed).
 
     With ``include_snapshot=True`` a compiled snapshot rides along and
     becomes the preferred load path — near-instant cold start — while the
-    text members keep the bundle portable and diffable.
+    text members keep the bundle portable and diffable.  ``shards=K``
+    makes that snapshot the sharded form (manifest + K lazily-loaded
+    segment files); the loader sniffs the form, so consumers are
+    unaffected.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -64,7 +68,7 @@ def save_bundle(
     if include_snapshot:
         from repro.rdf.snapshot import compile_snapshot
 
-        compile_snapshot(directory / _SNAPSHOT_NAME, kg, dictionary)
+        compile_snapshot(directory / _SNAPSHOT_NAME, kg, dictionary, shards=shards)
         manifest["snapshot"] = _SNAPSHOT_NAME
     (directory / _MANIFEST_NAME).write_text(
         json.dumps(manifest, indent=1) + "\n", encoding="utf-8"

@@ -275,12 +275,15 @@ def cmd_compile(args) -> int:
         setup = default_setup(args.distractors, jobs=args.jobs)
         kg, dictionary = setup.kg, setup.dictionary
     started = time.perf_counter()
-    info = compile_snapshot(Path(args.output), kg, dictionary)
+    info = compile_snapshot(
+        Path(args.output), kg, dictionary, shards=args.shards, jobs=args.jobs
+    )
     elapsed = time.perf_counter() - started
+    layout = f"{info.shards} segments + manifest" if info.shards > 1 else "1 file"
     print(
         f"compiled {info.triples} triples, {info.terms} terms, "
         f"{info.phrases} phrases → {info.path} "
-        f"({info.total_bytes} bytes, {elapsed:.2f} s)"
+        f"({layout}, {info.total_bytes} bytes, {elapsed:.2f} s)"
     )
     if args.verbose:
         for name, size in sorted(
@@ -486,6 +489,11 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument(
         "--dataset", choices=("dbpedia-mini", "synthetic"), default="dbpedia-mini",
         help="which setup to compile (synthetic = the perf-baseline scenario)",
+    )
+    compile_cmd.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="write a sharded snapshot: a manifest plus K subject-hash "
+        "partitioned segment files, mmapped lazily at load (default: one file)",
     )
     compile_cmd.add_argument(
         "--verbose", action="store_true", help="print per-section sizes"

@@ -40,6 +40,23 @@ class SyntheticConfig:
         if self.triples_per_entity <= 0:
             raise ValueError("triples_per_entity must be positive")
 
+    @classmethod
+    def with_total_triples(cls, total: int, **overrides) -> "SyntheticConfig":
+        """A config sized so the graph holds roughly ``total`` triples.
+
+        Every entity contributes two structural triples (type + label)
+        plus ``triples_per_entity`` relation triples on average, so the
+        entity count solves ``total = entities * (tpe + 2)``.  The 10^6
+        point of the scaling benchmarks is expressed this way instead of
+        hand-picking entity counts per density.
+        """
+        if total < 1:
+            raise ValueError("total must be positive")
+        default_tpe = cls.__dataclass_fields__["triples_per_entity"].default
+        tpe = float(overrides.pop("triples_per_entity", default_tpe))
+        entities = max(1, round(total / (tpe + 2.0)))
+        return cls(entities=entities, triples_per_entity=tpe, **overrides)
+
 
 def _zipf_weights(count: int, exponent: float) -> list[float]:
     return [1.0 / (rank ** exponent) for rank in range(1, count + 1)]

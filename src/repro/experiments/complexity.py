@@ -101,19 +101,28 @@ def candidate_scaling(candidate_counts=(5, 10, 20, 40)) -> ExperimentResult:
     return result
 
 
-def kg_size_scaling(distractor_levels=(0, 10, 25, 50, 100)) -> ExperimentResult:
-    """End-to-end time vs knowledge-graph size (candidate-list growth).
+def kg_size_scaling(
+    distractor_levels=(0, 10, 25, 50, 100),
+    triples_axis=(10_000, 100_000, 1_000_000),
+    shards=8,
+) -> ExperimentResult:
+    """End-to-end time vs knowledge-graph size, plus the storage curve.
 
-    The distractor knob multiplies every entity's homonym count, which is
-    what growing DBpedia does to this workload.  The shape to check: our
-    per-question time grows gently (pruning + TA absorb the candidates)
-    while correctness is unchanged.
+    Two axes share the table.  The distractor knob multiplies every
+    entity's homonym count, which is what growing DBpedia does to this
+    workload — per-question time should grow gently (pruning + TA absorb
+    the candidates) while correctness is unchanged.  The triples axis
+    grows a synthetic graph to 10^6 triples and runs the same
+    subject-bound query workload against a single compact backend and a
+    subject-hash :class:`~repro.rdf.shard.ShardedBackend` — identical
+    results required, comparable time expected (bound-subject patterns
+    route to exactly one segment).
     """
     question = "Who was married to an actor that played in Philadelphia?"
     result = ExperimentResult(
         "scaling_kg",
-        "Scaling — answer time vs graph size (distractor padding)",
-        ["distractors/entity", "graph nodes", "total (ms)", "answers"],
+        "Scaling — answer time vs graph size (distractors + triples axes)",
+        ["scale point", "graph size", "total (ms)", "answers"],
     )
     for level in distractor_levels:
         setup = default_setup(level)
@@ -122,14 +131,66 @@ def kg_size_scaling(distractor_levels=(0, 10, 25, 50, 100)) -> ExperimentResult:
         answer = system.answer(question)
         result.rows.append(
             [
-                level,
-                setup.kg.store.statistics()["nodes"],
+                f"distractors={level}",
+                f"{setup.kg.store.statistics()['nodes']} nodes",
                 round(best * 1000, 3),
                 ", ".join(str(a) for a in answer.answers),
             ]
         )
-    result.notes.append("answers must be identical at every scale")
+    result.notes.append("answers must be identical at every distractor scale")
+
+    for total in triples_axis:
+        for label, store, rows in _storage_scaling_point(total, shards):
+            result.rows.append(
+                [
+                    f"triples={total} {label}",
+                    f"{len(store)} triples",
+                    rows[0],
+                    f"{rows[1]} rows",
+                ]
+            )
+    result.notes.append(
+        f"single vs sharded-{shards} must retrieve identical rows at every "
+        f"triples scale (times are the 200-subject query workload)"
+    )
     return result
+
+
+def _storage_scaling_point(total_triples: int, shards: int):
+    """Time one subject-bound workload on single vs sharded storage.
+
+    Returns ``(label, store, (best_ms, row_count))`` per backend; the two
+    row counts must agree (checked by the caller's benchmark).
+    """
+    from repro.datasets.synthetic import SyntheticConfig, build_synthetic_kg
+
+    kg = build_synthetic_kg(
+        SyntheticConfig.with_total_triples(total_triples, predicates=30)
+    )
+    base = kg.store
+    subjects = [triple[0] for triple in base.triples_ids()][:4000:20]
+
+    def workload(store):
+        rows = 0
+        for sid in subjects:
+            for _ in store.triples_ids(s=sid):
+                rows += 1
+        return rows
+
+    points = []
+    for label, store in (
+        ("single", base.compacted()),
+        (f"sharded-{shards}", base.sharded(shards)),
+    ):
+        best = None
+        rows = 0
+        for _ in range(3):
+            started = time.perf_counter()
+            rows = workload(store)
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        points.append((label, store, (round(best * 1000, 3), rows)))
+    return points
 
 
 def pruning_ablation() -> ExperimentResult:

@@ -48,6 +48,7 @@ from typing import Iterator
 
 from repro.contracts import guarded_by
 from repro.rdf import vocab
+from repro.rdf.shard import ShardedBackend, sharded_kernel_rows
 from repro.rdf.store import TripleStore
 
 Path = tuple[int, ...]
@@ -116,6 +117,7 @@ class AdjacencyKernel:
         self,
         store: TripleStore,
         prebuilt_rows: dict[int, AdjacencyRow] | None = None,
+        build_jobs: int = 1,
     ):
         self.store = store
         self.store_version = store.version
@@ -135,6 +137,13 @@ class AdjacencyKernel:
             # kernel built against the very same (id-stable) store, so
             # adopting them verbatim reproduces that kernel exactly.
             self._full = prebuilt_rows
+        elif isinstance(store.backend, ShardedBackend):
+            # Shard-parallel build: per-segment partial rows merged per
+            # node in source-subject order — byte-identical to _build()
+            # over the same triples, at any job count.
+            self._full = sharded_kernel_rows(
+                store.backend, self.structural_predicate_ids, jobs=build_jobs
+            )
         else:
             self._build()
         self._signatures: dict[int, frozenset[int]] = {}

@@ -1,0 +1,555 @@
+"""Hash-partitioned sharded backend: K frozen segments behind one store.
+
+Everything above the storage layer assumes one in-memory index; the paper
+targets DBpedia (60M triples) and the traversal systems it compares
+against run at full-DBpedia scale.  :class:`ShardedBackend` closes that
+gap without touching any consumer: it implements the same
+:class:`~repro.rdf.backend.StoreBackend` protocol as the single-segment
+backends, but physically holds K :class:`~repro.rdf.backend.
+CompactBackend` segments, partitioned by **subject hash**.
+
+Why subject hash:
+
+* every subject's triples live in exactly one segment, so every pattern
+  with a bound subject — the dominant shape in adjacency expansion,
+  neighborhood pruning, and SPARQL evaluation — routes to **one**
+  segment with zero merge cost;
+* segments are disjoint by construction, so merged iteration never
+  deduplicates triples: a k-way ``heapq.merge`` over the segments'
+  already-sorted runs reproduces the exact global sort order a single
+  :class:`CompactBackend` would yield;
+* the partition is a pure function of the subject id
+  (:func:`shard_of`), so an offline builder, a snapshot manifest, and a
+  serving replica all agree on placement without any routing table.
+
+Segments may be materialized eagerly (:meth:`ShardedBackend.from_triples`)
+or loaded **lazily** through a caller-supplied loader
+(:meth:`ShardedBackend.lazy` — how sharded snapshots mmap segment files
+on first touch and keep untouched shards off the resident set).  Loaded
+segments can be :meth:`evicted <ShardedBackend.evict>`; the next touch
+reloads them.
+
+The module also hosts the shard-parallel adjacency-kernel build
+(:func:`sharded_kernel_rows`): each segment's partial rows are built
+independently (optionally across a fork pool) and k-way merged per node
+in ascending source-subject order, which reproduces the serial build's
+rows **byte-for-byte** — the same contract the parallel paraphrase miner
+keeps for its output.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import heapq
+import multiprocessing
+import threading
+from operator import itemgetter
+from typing import AbstractSet, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import SnapshotError, StoreFrozenError
+from repro.rdf.backend import CompactBackend, IdTriple
+
+__all__ = [
+    "PARTITION_SCHEME",
+    "ShardedBackend",
+    "shard_of",
+    "partition_triples",
+    "build_segments",
+    "sharded_kernel_rows",
+]
+
+#: Signed-step kernel row, duplicated from :mod:`repro.rdf.kernel` to keep
+#: the import direction kernel → shard (never the reverse).
+_Row = tuple[tuple[int, ...], tuple[int, ...]]
+
+#: Knuth's 32-bit multiplicative hash constant (2^32 / golden ratio).
+_HASH_MULTIPLIER = 0x9E3779B1
+
+#: Name of the partition function, recorded in snapshot manifests so a
+#: loader can refuse a manifest written under a different placement.
+PARTITION_SCHEME = "subject-mulfib32/1"
+
+_EMPTY_SET: frozenset[int] = frozenset()
+_EMPTY_MAP: dict[int, frozenset[int]] = {}
+
+#: A segment loader returns the backend plus an optional keep-alive token
+#: (the mmap an on-demand segment's columns borrow from).
+SegmentLoader = Callable[[int], tuple[CompactBackend, object | None]]
+
+
+def shard_of(subject_id: int, shards: int) -> int:
+    """The segment index a subject's triples live in.
+
+    A multiplicative hash rather than ``id % shards``: term ids are
+    assigned densely in first-seen order, so a modulo would correlate the
+    partition with dataset ordering and id stride (entities minted
+    alongside their label literals get ids of stride 2 — half the
+    segments would sit empty).  Multiplying by the golden-ratio constant
+    mixes the id into the **high** 32 bits, and the fixed-point range map
+    ``(hash * K) >> 32`` reads exactly those bits — low-bit structure in
+    the input never reaches the segment choice.
+    """
+    hashed = (subject_id * _HASH_MULTIPLIER) & 0xFFFFFFFF
+    return (hashed * shards) >> 32
+
+
+def partition_triples(
+    triples: Iterable[IdTriple], shards: int
+) -> list[list[IdTriple]]:
+    """Split id triples into ``shards`` lists by subject hash."""
+    if shards < 1:
+        raise ValueError("shards must be a positive segment count")
+    partitions: list[list[IdTriple]] = [[] for _ in range(shards)]
+    for triple in triples:
+        partitions[shard_of(triple[0], shards)].append(triple)
+    return partitions
+
+
+# --------------------------------------------------------------------- #
+# Shard-parallel segment construction
+# --------------------------------------------------------------------- #
+
+#: Worker state for the segment-build pool: (partitions, store version).
+#: Set in the parent immediately before the pool is created — fork
+#: workers inherit the partition lists copy-on-write, exactly the
+#: pattern the paraphrase miner's phrase pool uses.
+_BUILD_STATE: tuple[list[list[IdTriple]], int] | None = None
+
+
+def _build_one_segment(index: int) -> CompactBackend:
+    partitions, version = _BUILD_STATE  # type: ignore[misc]
+    return CompactBackend.from_triples(partitions[index], version=version)
+
+
+def _pool_factory(jobs: int) -> Callable[[], concurrent.futures.Executor]:
+    """A fork process pool, degrading to threads where fork is unavailable."""
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        return lambda: concurrent.futures.ThreadPoolExecutor(max_workers=jobs)
+    return lambda: concurrent.futures.ProcessPoolExecutor(
+        max_workers=jobs, mp_context=context
+    )
+
+
+def build_segments(
+    partitions: list[list[IdTriple]], version: int = 0, jobs: int = 1
+) -> list[CompactBackend]:
+    """One frozen :class:`CompactBackend` per partition.
+
+    ``jobs > 1`` builds segments across a fork pool (0 auto-sizes to the
+    CPU count).  Each segment build is an independent deterministic sort,
+    so the result is identical at any job count.
+    """
+    global _BUILD_STATE
+    if jobs == 0:
+        import os
+
+        jobs = os.cpu_count() or 1
+    jobs = max(1, min(jobs, len(partitions)))
+    if jobs == 1:
+        return [
+            CompactBackend.from_triples(partition, version=version)
+            for partition in partitions
+        ]
+    _BUILD_STATE = (partitions, version)
+    try:
+        with _pool_factory(jobs)() as pool:
+            return list(pool.map(_build_one_segment, range(len(partitions))))
+    finally:
+        _BUILD_STATE = None
+
+
+def _merge_distinct(iterators: Sequence[Iterator[int]]) -> Iterator[int]:
+    """Ascending union of already-sorted distinct-id iterators."""
+    previous: int | None = None
+    for value in heapq.merge(*iterators):
+        if value != previous:
+            previous = value
+            yield value
+
+
+class ShardedBackend:
+    """K hash-partitioned frozen segments behind the StoreBackend protocol.
+
+    Reads with a bound subject route to ``shard_of(s)``'s single segment;
+    unbound-subject reads k-way merge the segments' sorted runs, so every
+    iterator yields in exactly the order a single
+    :class:`~repro.rdf.backend.CompactBackend` over the same triples
+    would.  Like :class:`CompactBackend`, the backend is frozen — mutation
+    raises :class:`~repro.exceptions.StoreFrozenError`.
+
+    Segments are either all materialized up front, or loaded on demand
+    through a :data:`SegmentLoader` (see :meth:`lazy`): the total triple
+    count and per-segment sizes are known without touching a segment, a
+    subject-local workload only ever faults in the shards it reads, and
+    :meth:`evict` returns a loaded segment to the unloaded state.  Lazy
+    load and evict are serialized by a private lock; a loaded segment is
+    published as a whole object, so lock-free readers never observe a
+    partial segment.
+    """
+
+    __slots__ = (
+        "_segments", "_segment_triples", "_loader", "_keepalive",
+        "_shards", "_size", "_version", "_lock",
+    )
+
+    def __init__(
+        self,
+        segments: Iterable[CompactBackend],
+        version: int = 0,
+    ) -> None:
+        loaded = list(segments)
+        if not loaded:
+            raise ValueError("a sharded backend needs at least one segment")
+        self._segments: list[CompactBackend | None] = list(loaded)
+        self._segment_triples = [len(segment) for segment in loaded]
+        self._loader: SegmentLoader | None = None
+        self._keepalive: list[object | None] = [None] * len(loaded)
+        self._shards = len(loaded)
+        self._size = sum(self._segment_triples)
+        self._version = version
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_triples(
+        cls,
+        triples: Iterable[IdTriple],
+        shards: int,
+        version: int = 0,
+        jobs: int = 1,
+    ) -> "ShardedBackend":
+        """Partition triples by subject hash and build every segment."""
+        partitions = partition_triples(triples, shards)
+        return cls(build_segments(partitions, version=version, jobs=jobs),
+                   version=version)
+
+    @classmethod
+    def lazy(
+        cls,
+        shards: int,
+        segment_triples: Sequence[int],
+        loader: SegmentLoader,
+        version: int = 0,
+    ) -> "ShardedBackend":
+        """A backend whose segments load on first touch via ``loader``.
+
+        ``segment_triples`` (from the snapshot manifest) makes sizes and
+        counts answerable without loading anything.
+        """
+        if shards < 1:
+            raise ValueError("shards must be a positive segment count")
+        if len(segment_triples) != shards:
+            raise ValueError("segment_triples must list one count per shard")
+        backend = cls.__new__(cls)
+        backend._segments = [None] * shards
+        backend._segment_triples = list(segment_triples)
+        backend._loader = loader
+        backend._keepalive = [None] * shards
+        backend._shards = shards
+        backend._size = sum(segment_triples)
+        backend._version = version
+        backend._lock = threading.Lock()
+        return backend
+
+    # ------------------------------------------------------------------ #
+    # Segment lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shards(self) -> int:
+        return self._shards
+
+    @property
+    def segment_triples(self) -> tuple[int, ...]:
+        return tuple(self._segment_triples)
+
+    def shard_of_subject(self, subject_id: int) -> int:
+        return shard_of(subject_id, self._shards)
+
+    def segment(self, index: int) -> CompactBackend:
+        """The segment at ``index``, loading it on first touch."""
+        segment = self._segments[index]
+        if segment is not None:
+            return segment
+        if self._loader is None:
+            raise SnapshotError(
+                f"segment {index} was never materialized and no loader is set"
+            )
+        with self._lock:
+            segment = self._segments[index]
+            if segment is None:
+                segment, keepalive = self._loader(index)
+                if len(segment) != self._segment_triples[index]:
+                    raise SnapshotError(
+                        f"segment {index} holds {len(segment)} triples, "
+                        f"manifest says {self._segment_triples[index]}"
+                    )
+                self._keepalive[index] = keepalive
+                self._segments[index] = segment
+        return segment
+
+    def _all_segments(self) -> list[CompactBackend]:
+        return [self.segment(index) for index in range(self._shards)]
+
+    def loaded_segments(self) -> list[int]:
+        """Indices of currently resident segments."""
+        return [
+            index for index, segment in enumerate(self._segments)
+            if segment is not None
+        ]
+
+    def evict(self, index: int) -> bool:
+        """Drop a loaded segment (and its mapping keep-alive).
+
+        Only meaningful on a lazily-loading backend — an eagerly built one
+        has nowhere to reload from, so eviction is refused.  The pages a
+        dropped mmap segment occupied return to the kernel once the last
+        borrowed column view is garbage-collected.
+        """
+        if self._loader is None:
+            return False
+        with self._lock:
+            if self._segments[index] is None:
+                return False
+            self._segments[index] = None
+            self._keepalive[index] = None
+        return True
+
+    # ------------------------------------------------------------------ #
+    # StoreBackend protocol
+    # ------------------------------------------------------------------ #
+
+    @property
+    def writable(self) -> bool:
+        return False
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, s: int, p: int, o: int) -> bool:
+        raise StoreFrozenError(
+            "ShardedBackend is read-only; mutate a DictBackend store and "
+            "re-shard (TripleStore.sharded) or recompile the snapshot"
+        )
+
+    def remove(self, s: int, p: int, o: int) -> bool:
+        raise StoreFrozenError(
+            "ShardedBackend is read-only; mutate a DictBackend store and "
+            "re-shard (TripleStore.sharded) or recompile the snapshot"
+        )
+
+    def contains(self, s: int, p: int, o: int) -> bool:
+        return self.segment(self.shard_of_subject(s)).contains(s, p, o)
+
+    def triples_ids(
+        self, s: int | None = None, p: int | None = None, o: int | None = None
+    ) -> Iterator[IdTriple]:
+        if s is not None:
+            # Subject-bound patterns are single-segment by construction.
+            return self.segment(self.shard_of_subject(s)).triples_ids(s, p, o)
+        # Subjects are disjoint across segments, so these merges never
+        # deduplicate and equal keys never straddle two segments.
+        runs = [segment.triples_ids(s, p, o) for segment in self._all_segments()]
+        if p is not None:
+            if o is not None:
+                # POS with o bound: runs ordered by subject.
+                return heapq.merge(*runs, key=itemgetter(0))
+            # Bare p: POS runs ordered by (object, subject).
+            return heapq.merge(*runs, key=lambda triple: (triple[2], triple[0]))
+        if o is not None:
+            # OSP runs: ordered by (subject, predicate).
+            return heapq.merge(*runs, key=lambda triple: (triple[0], triple[1]))
+        return heapq.merge(*runs)  # full scan: natural SPO order
+
+    def count(
+        self, s: int | None = None, p: int | None = None, o: int | None = None
+    ) -> int:
+        if s is not None:
+            return self.segment(self.shard_of_subject(s)).count(s, p, o)
+        if s is None and p is None and o is None:
+            return self._size
+        return sum(segment.count(s, p, o) for segment in self._all_segments())
+
+    def objects_ids(self, s: int, p: int) -> AbstractSet[int]:
+        return self.segment(self.shard_of_subject(s)).objects_ids(s, p)
+
+    def subjects_ids(self, p: int, o: int) -> AbstractSet[int]:
+        found = [
+            subjects
+            for segment in self._all_segments()
+            if (subjects := segment.subjects_ids(p, o))
+        ]
+        if not found:
+            return _EMPTY_SET
+        if len(found) == 1:
+            return found[0]
+        return frozenset().union(*found)
+
+    def out_index(self, s: int) -> Mapping[int, AbstractSet[int]]:
+        return self.segment(self.shard_of_subject(s)).out_index(s)
+
+    def in_index(self, o: int) -> Mapping[int, AbstractSet[int]]:
+        found = [
+            row
+            for segment in self._all_segments()
+            if (row := segment.in_index(o))
+        ]
+        if not found:
+            return _EMPTY_MAP
+        if len(found) == 1:
+            return found[0]
+        # Subject keys are disjoint across segments; re-sort so the merged
+        # row iterates in ascending subject order like a single backend's.
+        merged: dict[int, AbstractSet[int]] = {}
+        for row in found:
+            merged.update(row)
+        return dict(sorted(merged.items()))
+
+    def objects_of_predicate(self, p: int) -> Iterator[int]:
+        # Objects are *not* disjoint across segments: merge and dedupe.
+        return _merge_distinct(
+            [segment.objects_of_predicate(p) for segment in self._all_segments()]
+        )
+
+    def iter_out_rows(self) -> Iterator[tuple[int, Mapping[int, AbstractSet[int]]]]:
+        return heapq.merge(
+            *(segment.iter_out_rows() for segment in self._all_segments()),
+            key=itemgetter(0),
+        )
+
+    def subject_ids(self) -> Iterator[int]:
+        # Disjoint by the partition function, but merging distinct is as
+        # cheap and keeps the contract obvious.
+        return _merge_distinct(
+            [segment.subject_ids() for segment in self._all_segments()]
+        )
+
+    def predicate_ids(self) -> Iterator[int]:
+        return _merge_distinct(
+            [segment.predicate_ids() for segment in self._all_segments()]
+        )
+
+    def object_ids(self) -> Iterator[int]:
+        return _merge_distinct(
+            [segment.object_ids() for segment in self._all_segments()]
+        )
+
+
+# --------------------------------------------------------------------- #
+# Shard-parallel adjacency-kernel build
+# --------------------------------------------------------------------- #
+
+def _partial_rows(
+    out_rows: Iterator[tuple[int, Mapping[int, AbstractSet[int]]]],
+    structural: frozenset[int],
+) -> dict[int, tuple[list[int], list[int]]]:
+    """One segment's kernel-row contributions.
+
+    This is the serial :meth:`AdjacencyKernel._build` loop restricted to
+    the segment's subjects: identical visit order (subjects ascending,
+    predicates ascending, objects ascending), identical appends.  Every
+    contribution a subject makes — its own forward steps and the backward
+    steps it writes into its objects' rows — happens here, in the one
+    segment that owns the subject.
+    """
+    full: dict[int, tuple[list[int], list[int]]] = {}
+    for sid, predicate_row in out_rows:
+        srow = full.get(sid)
+        if srow is None:
+            srow = full[sid] = ([], [])
+        s_steps, s_nbrs = srow
+        for pid in sorted(predicate_row):
+            if pid in structural:
+                continue
+            fwd = pid + 1
+            bwd = -fwd
+            for oid in sorted(predicate_row[pid]):
+                s_steps.append(fwd)
+                s_nbrs.append(oid)
+                orow = full.get(oid)
+                if orow is None:
+                    orow = full[oid] = ([], [])
+                orow[0].append(bwd)
+                orow[1].append(sid)
+    return full
+
+
+#: Worker state for the kernel-partial pool: (backend, structural ids).
+_KERNEL_BUILD_STATE: tuple[ShardedBackend, frozenset[int]] | None = None
+
+
+def _segment_kernel_partial(index: int) -> dict[int, tuple[list[int], list[int]]]:
+    backend, structural = _KERNEL_BUILD_STATE  # type: ignore[misc]
+    return _partial_rows(backend.segment(index).iter_out_rows(), structural)
+
+
+def _entry_source(entry: tuple[int, int, int]) -> int:
+    return entry[0]
+
+
+def sharded_kernel_rows(
+    backend: ShardedBackend,
+    structural: frozenset[int],
+    jobs: int = 1,
+) -> dict[int, _Row]:
+    """Kernel rows over a sharded backend, byte-identical to the serial build.
+
+    Each segment contributes partial rows independently (``jobs > 1``
+    fans segments over a fork pool).  The serial build appends into a
+    node's row in ascending *source subject* order — the subject being
+    visited when the entry is appended: the node itself for its forward
+    steps, the far neighbor for backward steps.  Source subjects map to
+    exactly one segment each, so a k-way merge of the per-segment
+    contributions by source subject (stable within a segment) reproduces
+    the serial append order exactly.
+    """
+    indices = range(backend.shards)
+    if jobs == 0:
+        import os
+
+        jobs = os.cpu_count() or 1
+    jobs = max(1, min(jobs, backend.shards))
+    if jobs == 1:
+        partials = [
+            _partial_rows(backend.segment(index).iter_out_rows(), structural)
+            for index in indices
+        ]
+    else:
+        global _KERNEL_BUILD_STATE
+        _KERNEL_BUILD_STATE = (backend, structural)
+        try:
+            with _pool_factory(jobs)() as pool:
+                partials = list(pool.map(_segment_kernel_partial, indices))
+        finally:
+            _KERNEL_BUILD_STATE = None
+
+    nodes: set[int] = set()
+    for partial in partials:
+        nodes.update(partial)
+    merged: dict[int, _Row] = {}
+    for node in sorted(nodes):
+        contributions = []
+        for partial in partials:
+            row = partial.get(node)
+            if row and row[0]:
+                steps, neighbors = row
+                contributions.append([
+                    ((neighbor if step < 0 else node), step, neighbor)
+                    for step, neighbor in zip(steps, neighbors)
+                ])
+        if not contributions:
+            continue  # the serial build drops empty rows too
+        if len(contributions) == 1:
+            entries = contributions[0]
+        else:
+            entries = list(heapq.merge(*contributions, key=_entry_source))
+        merged[node] = (
+            tuple(entry[1] for entry in entries),
+            tuple(entry[2] for entry in entries),
+        )
+    return merged

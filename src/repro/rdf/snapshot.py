@@ -47,6 +47,25 @@ where each section is ``u8 name_len | name | u64 payload_len | payload``.
 The digest covers everything between the fixed header and itself; a
 flipped bit anywhere surfaces as :class:`~repro.exceptions.SnapshotError`
 at load time, never as silently wrong answers.
+
+**Sharded snapshots** (``compile_snapshot(..., shards=K)``, ``repro
+compile --shards K``) split the artifact so segments load on demand:
+
+* ``graph.snap`` — a small JSON **manifest** naming the members, the
+  partition scheme, and per-segment triple counts;
+* ``graph.state.snap`` — one ``REPROSNAP`` container with every
+  non-column section (terms, literals, kernel rows, closures, labels,
+  linker, dictionary), decoded eagerly at load;
+* ``graph.segNNN.snap`` — one ``REPROSNAP`` container per shard holding
+  only that segment's three permutation columns.
+
+``load_snapshot`` sniffs the leading bytes, so manifest and single-file
+snapshots load through the same call.  A sharded load builds a
+:class:`~repro.rdf.shard.ShardedBackend` whose segments are mmapped (and
+checksum-verified) on **first touch**: a subject-local workload only ever
+makes 1/K of the triple columns resident, and :meth:`ShardedBackend.
+evict` hands a segment's pages back.  Each segment file is verified
+independently, so lazy loading never trades away corruption detection.
 """
 
 from __future__ import annotations
@@ -67,6 +86,12 @@ from repro.rdf.backend import CompactBackend
 from repro.rdf.dictionary import TermDictionary
 from repro.rdf.graph import KnowledgeGraph
 from repro.rdf.kernel import AdjacencyKernel, AdjacencyRow
+from repro.rdf.shard import (
+    PARTITION_SCHEME,
+    ShardedBackend,
+    build_segments,
+    partition_triples,
+)
 from repro.rdf.store import TripleStore
 from repro.rdf.terms import IRI, Literal, Term
 
@@ -74,10 +99,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (linking sits above r
     from repro.linking.linker import EntityLinker
     from repro.paraphrase.dictionary import ParaphraseDictionary
 
-__all__ = ["FORMAT_VERSION", "SnapshotInfo", "CompiledState", "compile_snapshot", "load_snapshot"]
+__all__ = [
+    "FORMAT_VERSION",
+    "MANIFEST_VERSION",
+    "SnapshotInfo",
+    "CompiledState",
+    "compile_snapshot",
+    "load_snapshot",
+]
 
 _MAGIC = b"REPROSNAP\x00"
 FORMAT_VERSION = 1
+#: Version of the sharded-manifest JSON layout.
+MANIFEST_VERSION = 1
+_MANIFEST_FORMAT = "reprosnap-manifest"
 
 _KIND_IRI = 0
 _KIND_PLAIN = 1
@@ -89,6 +124,14 @@ _SECTIONS = (
     "terms", "literals", "spo", "pos", "osp",
     "kernel", "classes", "closures", "labels", "linker", "dictionary",
 )
+#: Sections of a sharded snapshot's state container (everything but the
+#: triple columns, which live in the per-shard segment containers).
+_STATE_SECTIONS = (
+    "terms", "literals",
+    "kernel", "classes", "closures", "labels", "linker", "dictionary",
+)
+#: Sections of one segment container: that shard's permutation columns.
+_SEGMENT_SECTIONS = ("spo", "pos", "osp")
 
 
 # --------------------------------------------------------------------- #
@@ -242,7 +285,7 @@ def _decode_closure(reader: _Reader) -> dict[int, frozenset[int]]:
 
 @dataclass(frozen=True, slots=True)
 class SnapshotInfo:
-    """Manifest-level facts about one compiled snapshot file."""
+    """Manifest-level facts about one compiled snapshot (file or shard set)."""
 
     path: Path
     format_version: int
@@ -252,6 +295,10 @@ class SnapshotInfo:
     terms: int
     phrases: int
     section_bytes: dict[str, int]
+    #: Segment count: 1 for a single-file snapshot, K for a sharded one
+    #: (where ``section_bytes`` also carries one aggregate entry per
+    #: segment file).
+    shards: int = 1
 
     @property
     def total_bytes(self) -> int:
@@ -300,20 +347,48 @@ class CompiledState:
 # Compile
 # --------------------------------------------------------------------- #
 
-def compile_snapshot(
-    path: str | Path,
-    kg: KnowledgeGraph,
-    dictionary: "ParaphraseDictionary",
-) -> SnapshotInfo:
-    """Compile the warm state of ``kg`` + ``dictionary`` into one file.
+def _write_container(
+    path: Path, sections: dict[str, bytes], order: tuple[str, ...], meta: dict
+) -> dict[str, int]:
+    """Write one checksummed ``REPROSNAP`` container; return section sizes."""
+    meta_bytes = json.dumps(meta, sort_keys=True).encode("utf-8")
+    body = bytearray()
+    body += struct.pack("<Q", len(meta_bytes))
+    body += meta_bytes
+    body += struct.pack("<I", len(order))
+    for name in order:
+        payload = sections[name]
+        body += struct.pack("<B", len(name))
+        body += name.encode("ascii")
+        body += struct.pack("<Q", len(payload))
+        body += payload
+    head = _MAGIC + struct.pack("<IB", FORMAT_VERSION, sys.byteorder == "big")
+    digest = hashlib.sha256(bytes(body)).digest()
+    path.write_bytes(head + bytes(body) + digest)
+    return {name: len(sections[name]) for name in order}
 
-    Forces every lazily-built structure (kernel, class set, closures,
-    label index, linker index) so what gets persisted is exactly what a
-    warm engine would have built, then writes the checksummed container.
+
+def _sharded_member_paths(path: Path, shards: int) -> tuple[Path, list[Path]]:
+    """Sibling file names of a sharded snapshot's state and segments.
+
+    ``graph.snap`` → ``graph.state.snap`` + ``graph.seg000.snap`` …; the
+    manifest records bare names, so the whole set moves as a directory.
     """
+    suffix = path.suffix or ".snap"
+    stem = path.stem if path.suffix else path.name
+    state = path.with_name(f"{stem}.state{suffix}")
+    segments = [
+        path.with_name(f"{stem}.seg{index:03d}{suffix}") for index in range(shards)
+    ]
+    return state, segments
+
+
+def _encode_state_sections(
+    kg: KnowledgeGraph, dictionary: "ParaphraseDictionary"
+) -> dict[str, bytes]:
+    """Encode every non-column section from the forced-warm graph state."""
     from repro.linking.linker import EntityLinker
 
-    path = Path(path)
     store = kg.store
     kernel = kg.kernel
     class_ids = kg.class_ids
@@ -323,18 +398,9 @@ def compile_snapshot(
     label_index = kg.label_index
     linker = EntityLinker(kg)
 
-    backend = store.backend
-    if not isinstance(backend, CompactBackend):
-        backend = CompactBackend.from_triples(
-            store.triples_ids(), version=store.version
-        )
-    columns = backend.permutation_columns()
-
     sections: dict[str, bytes] = {}
     sections["terms"] = _encode_terms(store.dictionary.terms_in_id_order())
     sections["literals"] = _pack_array(array("q", sorted(store.iter_literal_ids())))
-    for name in ("spo", "pos", "osp"):
-        sections[name] = b"".join(_pack_array(column) for column in columns[name])
 
     rows = kernel.full_rows()
     node_ids = array("q", sorted(rows))
@@ -386,7 +452,40 @@ def compile_snapshot(
             dict_parts.append(struct.pack("<d", mapping.confidence))
             dict_parts.append(_pack_array(array("q", mapping.path)))
     sections["dictionary"] = b"".join(dict_parts)
+    return sections
 
+
+def _segment_sections(segment: CompactBackend) -> dict[str, bytes]:
+    columns = segment.permutation_columns()
+    return {
+        name: b"".join(_pack_array(column) for column in columns[name])
+        for name in _SEGMENT_SECTIONS
+    }
+
+
+def compile_snapshot(
+    path: str | Path,
+    kg: KnowledgeGraph,
+    dictionary: "ParaphraseDictionary",
+    shards: int | None = None,
+    jobs: int = 1,
+) -> SnapshotInfo:
+    """Compile the warm state of ``kg`` + ``dictionary`` into a snapshot.
+
+    Forces every lazily-built structure (kernel, class set, closures,
+    label index, linker index) so what gets persisted is exactly what a
+    warm engine would have built.
+
+    ``shards=None`` (default) writes the single-file container, byte
+    layout unchanged.  ``shards=K`` writes the sharded form instead: a
+    JSON manifest at ``path``, a state container next to it, and one
+    segment container per shard (subject-hash partitioned; ``jobs``
+    parallelizes the per-segment column builds).  Both forms load through
+    :func:`load_snapshot` and answer identically.
+    """
+    path = Path(path)
+    store = kg.store
+    sections = _encode_state_sections(kg, dictionary)
     meta = {
         "format_version": FORMAT_VERSION,
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -395,23 +494,81 @@ def compile_snapshot(
         "terms": len(store.dictionary),
         "phrases": len(dictionary),
     }
-    meta_bytes = json.dumps(meta, sort_keys=True).encode("utf-8")
 
-    body = bytearray()
-    body += struct.pack("<Q", len(meta_bytes))
-    body += meta_bytes
-    body += struct.pack("<I", len(_SECTIONS))
-    for name in _SECTIONS:
-        payload = sections[name]
-        body += struct.pack("<B", len(name))
-        body += name.encode("ascii")
-        body += struct.pack("<Q", len(payload))
-        body += payload
+    if shards is None:
+        backend = store.backend
+        if not isinstance(backend, CompactBackend):
+            backend = CompactBackend.from_triples(
+                store.triples_ids(), version=store.version
+            )
+        columns = backend.permutation_columns()
+        for name in _SEGMENT_SECTIONS:
+            sections[name] = b"".join(
+                _pack_array(column) for column in columns[name]
+            )
+        section_bytes = _write_container(path, sections, _SECTIONS, meta)
+        return SnapshotInfo(
+            path=path,
+            format_version=FORMAT_VERSION,
+            created=meta["created"],
+            store_version=meta["store_version"],
+            triples=meta["triples"],
+            terms=meta["terms"],
+            phrases=meta["phrases"],
+            section_bytes=section_bytes,
+        )
 
-    head = _MAGIC + struct.pack("<IB", FORMAT_VERSION, sys.byteorder == "big")
-    digest = hashlib.sha256(bytes(body)).digest()
-    path.write_bytes(head + bytes(body) + digest)
+    if shards < 1:
+        raise ValueError("shards must be a positive segment count")
+    backend = store.backend
+    if isinstance(backend, ShardedBackend) and backend.shards == shards:
+        # Already partitioned under the same scheme: persist the live
+        # segments instead of re-sorting every column.
+        segments = [backend.segment(index) for index in range(shards)]
+    else:
+        segments = build_segments(
+            partition_triples(store.triples_ids(), shards),
+            version=store.version,
+            jobs=jobs,
+        )
 
+    state_path, segment_paths = _sharded_member_paths(path, shards)
+    section_bytes = _write_container(
+        state_path, sections, _STATE_SECTIONS,
+        meta | {"kind": "state", "shards": shards},
+    )
+    for index, (segment, segment_path) in enumerate(zip(segments, segment_paths)):
+        segment_meta = {
+            "format_version": FORMAT_VERSION,
+            "kind": "segment",
+            "shard": index,
+            "shards": shards,
+            "triples": len(segment),
+            "store_version": store.version,
+        }
+        written = _write_container(
+            segment_path, _segment_sections(segment),
+            _SEGMENT_SECTIONS, segment_meta,
+        )
+        section_bytes[segment_path.name] = sum(written.values())
+
+    manifest = {
+        "format": _MANIFEST_FORMAT,
+        "manifest_version": MANIFEST_VERSION,
+        "created": meta["created"],
+        "partition": PARTITION_SCHEME,
+        "shards": shards,
+        "state": state_path.name,
+        "segments": [segment_path.name for segment_path in segment_paths],
+        "segment_triples": [len(segment) for segment in segments],
+        "triples": meta["triples"],
+        "terms": meta["terms"],
+        "phrases": meta["phrases"],
+        "store_version": meta["store_version"],
+    }
+    path.write_text(
+        json.dumps(manifest, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
     return SnapshotInfo(
         path=path,
         format_version=FORMAT_VERSION,
@@ -420,7 +577,8 @@ def compile_snapshot(
         triples=meta["triples"],
         terms=meta["terms"],
         phrases=meta["phrases"],
-        section_bytes={name: len(sections[name]) for name in _SECTIONS},
+        section_bytes=section_bytes,
+        shards=shards,
     )
 
 
@@ -429,7 +587,7 @@ def compile_snapshot(
 # --------------------------------------------------------------------- #
 
 def _split_sections(
-    path: Path, mode: str
+    path: Path, mode: str, required: tuple[str, ...] = _SECTIONS
 ) -> tuple[dict, dict[str, memoryview], bool, mmap.mmap | None]:
     """Verify the container; return (meta, name → payload view, swap, mapping).
 
@@ -484,36 +642,35 @@ def _split_sections(
         offset += 8
         payloads[name] = view[offset:offset + payload_len]
         offset += payload_len
-    missing = [name for name in _SECTIONS if name not in payloads]
+    missing = [name for name in required if name not in payloads]
     if missing:
         raise SnapshotError(f"snapshot missing sections: {', '.join(missing)}")
     swap = bool(big_endian) != (sys.byteorder == "big")
     return meta, payloads, swap, mapping
 
 
-def load_snapshot(path: str | Path, mode: str = "mmap") -> CompiledState:
-    """Reconstruct the full warm state from a compiled snapshot.
+@dataclass(slots=True)
+class _DecodedState:
+    """The non-column sections of a snapshot, decoded into live objects."""
 
-    The returned :class:`CompiledState` carries a frozen
-    (:class:`~repro.rdf.backend.CompactBackend`) store whose term ids are
-    identical to the compile-time store's, a kernel adopted from the
-    persisted rows, preloaded graph caches, the id-level paraphrase
-    dictionary, and the material to build an entity linker without an
-    index scan.
+    dictionary: TermDictionary
+    literal_ids: set[int]
+    rows: dict[int, AdjacencyRow]
+    class_ids: set[int]
+    superclass_closure: dict[int, frozenset[int]]
+    subclass_closure: dict[int, frozenset[int]]
+    label_index: dict[int, str]
+    linker_entries: list[tuple[int, str, str, bool]]
+    linker_postings: dict[str, tuple[int, ...]]
+    linker_max_degree: int
+    paraphrases: "ParaphraseDictionary"
 
-    ``mode="mmap"`` (default) maps the file and hands the backend
-    zero-copy ``memoryview`` columns — the triple index is never
-    duplicated into process memory, and concurrent processes mapping the
-    same file share one page-cache copy.  ``mode="copy"`` reads the file
-    once and builds owned ``array('q')`` columns (the pre-mmap behavior,
-    kept as the cross-endian fallback and the equivalence reference).
-    """
+
+def _decode_state_sections(
+    meta: dict, payloads: dict[str, memoryview], swap: bool
+) -> _DecodedState:
+    """Decode every non-column section (shared by both snapshot forms)."""
     from repro.paraphrase.dictionary import ParaphraseDictionary, PredicateMapping
-
-    if mode not in ("mmap", "copy"):
-        raise ValueError(f"unknown snapshot load mode {mode!r} (mmap|copy)")
-    path = Path(path)
-    meta, payloads, swap, mapping = _split_sections(path, mode)
 
     def reader(name: str) -> _Reader:
         return _Reader(payloads[name], swap)
@@ -521,25 +678,6 @@ def load_snapshot(path: str | Path, mode: str = "mmap") -> CompiledState:
     terms = _decode_terms(reader("terms"))
     dictionary = TermDictionary.from_terms(terms)
     literal_ids = set(reader("literals").int_column())
-
-    def permutation(name: str) -> tuple:
-        # The zero-copy path: each column is a memoryview cast over the
-        # mapping (no frombytes, no materialization).  Copy mode keeps
-        # owned arrays; a byte-order mismatch forces them in either mode.
-        section = reader(name)
-        take = section.int_column if mode == "mmap" else section.int_array
-        return (take(), take(), take())
-
-    backend = CompactBackend(
-        permutation("spo"), permutation("pos"), permutation("osp"),
-        version=meta["store_version"],
-    )
-    store = TripleStore(backend=backend, dictionary=dictionary, literal_ids=literal_ids)
-    if len(store) != meta["triples"]:
-        raise SnapshotError(
-            f"snapshot holds {len(store)} triples, manifest says "
-            f"{meta['triples']} — inconsistent file"
-        )
 
     kernel_reader = reader("kernel")
     node_ids = kernel_reader.int_column()
@@ -594,16 +732,79 @@ def load_snapshot(path: str | Path, mode: str = "mmap") -> CompiledState:
             f"{meta['phrases']} — inconsistent file"
         )
 
-    kg = KnowledgeGraph(store)
-    kernel = AdjacencyKernel(store, prebuilt_rows=rows)
-    kg.preload(
-        kernel=kernel,
+    return _DecodedState(
+        dictionary=dictionary,
+        literal_ids=literal_ids,
+        rows=rows,
         class_ids=class_ids,
-        label_index=label_index,
         superclass_closure=superclass_closure,
         subclass_closure=subclass_closure,
+        label_index=label_index,
+        linker_entries=entries,
+        linker_postings=postings,
+        linker_max_degree=max_degree,
+        paraphrases=paraphrases,
     )
 
+
+def _assemble_state(
+    store: TripleStore,
+    state: _DecodedState,
+    info: SnapshotInfo,
+    mapping: mmap.mmap | None,
+) -> CompiledState:
+    """Wire a store and decoded sections into the warm CompiledState."""
+    kg = KnowledgeGraph(store)
+    kernel = AdjacencyKernel(store, prebuilt_rows=state.rows)
+    kg.preload(
+        kernel=kernel,
+        class_ids=state.class_ids,
+        label_index=state.label_index,
+        superclass_closure=state.superclass_closure,
+        subclass_closure=state.subclass_closure,
+    )
+    return CompiledState(
+        kg=kg,
+        dictionary=state.paraphrases,
+        info=info,
+        linker_entries=state.linker_entries,
+        linker_postings=state.linker_postings,
+        linker_max_degree=state.linker_max_degree,
+        mapping=mapping,
+    )
+
+
+def _segment_permutations(
+    payloads: dict[str, memoryview], swap: bool, mode: str
+) -> list[tuple]:
+    """The three permutation column triples of one container's sections."""
+    permutations = []
+    for name in _SEGMENT_SECTIONS:
+        # The zero-copy path: each column is a memoryview cast over the
+        # mapping (no frombytes, no materialization).  Copy mode keeps
+        # owned arrays; a byte-order mismatch forces them in either mode.
+        section = _Reader(payloads[name], swap)
+        take = section.int_column if mode == "mmap" else section.int_array
+        permutations.append((take(), take(), take()))
+    return permutations
+
+
+def _load_single(path: Path, mode: str) -> CompiledState:
+    """Decode the classic one-file snapshot."""
+    meta, payloads, swap, mapping = _split_sections(path, mode)
+    state = _decode_state_sections(meta, payloads, swap)
+    spo, pos, osp = _segment_permutations(payloads, swap, mode)
+    backend = CompactBackend(spo, pos, osp, version=meta["store_version"])
+    store = TripleStore(
+        backend=backend,
+        dictionary=state.dictionary,
+        literal_ids=state.literal_ids,
+    )
+    if len(store) != meta["triples"]:
+        raise SnapshotError(
+            f"snapshot holds {len(store)} triples, manifest says "
+            f"{meta['triples']} — inconsistent file"
+        )
     info = SnapshotInfo(
         path=path,
         format_version=meta["format_version"],
@@ -614,12 +815,146 @@ def load_snapshot(path: str | Path, mode: str = "mmap") -> CompiledState:
         phrases=meta["phrases"],
         section_bytes={name: len(payloads[name]) for name in payloads},
     )
-    return CompiledState(
-        kg=kg,
-        dictionary=paraphrases,
-        info=info,
-        linker_entries=entries,
-        linker_postings=postings,
-        linker_max_degree=max_degree,
-        mapping=mapping,
+    return _assemble_state(store, state, info, mapping)
+
+
+def _load_sharded(path: Path, manifest: dict, mode: str) -> CompiledState:
+    """Decode a sharded manifest: eager state, lazily mmapped segments."""
+    if manifest.get("manifest_version") != MANIFEST_VERSION:
+        raise SnapshotError(
+            f"unsupported manifest version {manifest.get('manifest_version')} "
+            f"(this build reads manifest version {MANIFEST_VERSION}); "
+            f"recompile with `repro compile --shards`"
+        )
+    if manifest.get("partition") != PARTITION_SCHEME:
+        raise SnapshotError(
+            f"snapshot was partitioned by {manifest.get('partition')!r}, "
+            f"this build places subjects by {PARTITION_SCHEME!r} — recompile"
+        )
+    shards = manifest.get("shards")
+    segment_names = manifest.get("segments")
+    segment_triples = manifest.get("segment_triples")
+    if (
+        not isinstance(shards, int)
+        or shards < 1
+        or not isinstance(segment_names, list)
+        or not isinstance(segment_triples, list)
+        or len(segment_names) != shards
+        or len(segment_triples) != shards
+    ):
+        raise SnapshotError(f"malformed sharded-snapshot manifest: {path}")
+    if sum(segment_triples) != manifest.get("triples"):
+        raise SnapshotError(
+            f"manifest segment counts sum to {sum(segment_triples)}, "
+            f"manifest says {manifest.get('triples')} triples — inconsistent"
+        )
+
+    state_path = path.with_name(manifest["state"])
+    meta, payloads, swap, mapping = _split_sections(state_path, mode, _STATE_SECTIONS)
+    if meta.get("kind") != "state" or meta.get("shards") != shards:
+        raise SnapshotError(
+            f"{state_path} is not the state container of {path}"
+        )
+    state = _decode_state_sections(meta, payloads, swap)
+    store_version = meta["store_version"]
+    if manifest.get("store_version") != store_version:
+        raise SnapshotError(
+            f"manifest and state container disagree on store version "
+            f"({manifest.get('store_version')} vs {store_version})"
+        )
+    segment_paths = [path.with_name(name) for name in segment_names]
+
+    def load_segment(index: int) -> tuple[CompactBackend, object | None]:
+        # Runs under the ShardedBackend lock on first touch of a segment;
+        # each file carries its own checksum, so lazy loading keeps full
+        # corruption detection without reading the untouched shards.
+        segment_path = segment_paths[index]
+        seg_meta, seg_payloads, seg_swap, seg_mapping = _split_sections(
+            segment_path, mode, _SEGMENT_SECTIONS
+        )
+        if (
+            seg_meta.get("kind") != "segment"
+            or seg_meta.get("shard") != index
+            or seg_meta.get("shards") != shards
+            or seg_meta.get("store_version") != store_version
+        ):
+            raise SnapshotError(
+                f"{segment_path} is not segment {index} of {path}"
+            )
+        spo, pos, osp = _segment_permutations(seg_payloads, seg_swap, mode)
+        segment = CompactBackend(spo, pos, osp, version=store_version)
+        return segment, seg_mapping
+
+    backend = ShardedBackend.lazy(
+        shards, segment_triples, load_segment, version=store_version
     )
+    store = TripleStore(
+        backend=backend,
+        dictionary=state.dictionary,
+        literal_ids=state.literal_ids,
+    )
+
+    section_bytes = {name: len(payloads[name]) for name in payloads}
+    for segment_path in segment_paths:
+        try:
+            section_bytes[segment_path.name] = segment_path.stat().st_size
+        except OSError as exc:
+            raise SnapshotError(
+                f"cannot read snapshot segment {segment_path}: {exc}"
+            ) from exc
+    info = SnapshotInfo(
+        path=path,
+        format_version=meta["format_version"],
+        created=manifest.get("created", ""),
+        store_version=store_version,
+        triples=manifest["triples"],
+        terms=manifest["terms"],
+        phrases=manifest["phrases"],
+        section_bytes=section_bytes,
+        shards=shards,
+    )
+    return _assemble_state(store, state, info, mapping)
+
+
+def load_snapshot(path: str | Path, mode: str = "mmap") -> CompiledState:
+    """Reconstruct the full warm state from a compiled snapshot.
+
+    The returned :class:`CompiledState` carries a frozen store whose term
+    ids are identical to the compile-time store's, a kernel adopted from
+    the persisted rows, preloaded graph caches, the id-level paraphrase
+    dictionary, and the material to build an entity linker without an
+    index scan.
+
+    ``path`` may be either snapshot form — the leading bytes decide:
+
+    * a ``REPROSNAP`` container loads as a single frozen
+      :class:`~repro.rdf.backend.CompactBackend`;
+    * a JSON **manifest** (``compile_snapshot(..., shards=K)``) loads the
+      state container eagerly and hands the store a
+      :class:`~repro.rdf.shard.ShardedBackend` whose segment files are
+      mapped and checksum-verified on first touch.
+
+    ``mode="mmap"`` (default) maps each file and hands the backend
+    zero-copy ``memoryview`` columns — the triple index is never
+    duplicated into process memory, and concurrent processes mapping the
+    same file share one page-cache copy.  ``mode="copy"`` reads files
+    once and builds owned ``array('q')`` columns (the pre-mmap behavior,
+    kept as the cross-endian fallback and the equivalence reference).
+    """
+    if mode not in ("mmap", "copy"):
+        raise ValueError(f"unknown snapshot load mode {mode!r} (mmap|copy)")
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(len(_MAGIC))
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    if head == _MAGIC:
+        return _load_single(path, mode)
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"not a compiled snapshot: {path}") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != _MANIFEST_FORMAT:
+        raise SnapshotError(f"not a compiled snapshot: {path}")
+    return _load_sharded(path, manifest, mode)

@@ -9,7 +9,11 @@ StoreBackend` chosen per workload:
   the right shape while triples stream in during build/mining;
 * :class:`~repro.rdf.backend.CompactBackend` (see :meth:`TripleStore.
   compacted`) is a frozen, sorted-column layout for serve-time replicas
-  and the compiled-snapshot format.
+  and the compiled-snapshot format;
+* :class:`~repro.rdf.shard.ShardedBackend` (see :meth:`TripleStore.
+  sharded`) hash-partitions the triples by subject into K frozen compact
+  segments — the layout for graphs past one segment's RAM budget, with
+  per-segment snapshot files loaded on demand.
 
 The public API accepts and returns :class:`Triple` objects with real
 terms; the ``*_ids`` methods expose the integer layer that the matching
@@ -25,6 +29,7 @@ from typing import AbstractSet, Iterable, Iterator, Mapping
 from repro.exceptions import StoreFrozenError
 from repro.rdf.backend import CompactBackend, DictBackend, StoreBackend
 from repro.rdf.dictionary import TermDictionary
+from repro.rdf.shard import ShardedBackend
 from repro.rdf.terms import IRI, Literal, Term, Triple
 
 _IdTriple = tuple[int, int, int]
@@ -88,6 +93,28 @@ class TripleStore:
         """
         backend = CompactBackend.from_triples(
             self._backend.triples_ids(), version=self._backend.version
+        )
+        return TripleStore(
+            backend=backend,
+            dictionary=self.dictionary,
+            literal_ids=self._literal_ids,
+        )
+
+    def sharded(self, shards: int, jobs: int = 1) -> "TripleStore":
+        """A frozen copy partitioned into ``shards`` compact segments.
+
+        Like :meth:`compacted` — shared dictionary, stable ids, version
+        carried forward — but the physical index is a
+        :class:`~repro.rdf.shard.ShardedBackend`: triples hash-partitioned
+        by subject into K frozen segments with merged read views.
+        ``jobs > 1`` builds segments across a fork pool (0 = one per CPU);
+        the result is identical at any job count.
+        """
+        backend = ShardedBackend.from_triples(
+            self._backend.triples_ids(),
+            shards=shards,
+            version=self._backend.version,
+            jobs=jobs,
         )
         return TripleStore(
             backend=backend,

@@ -469,10 +469,19 @@ class QAEngine:
 
     def stats(self) -> dict:
         """The ``GET /stats`` body: caches, admission, kernel, store."""
+        backend = self.kg.store.backend
+        store_stats: dict = {"backend": type(backend).__name__}
+        shards = getattr(backend, "shards", None)
+        if shards is not None:
+            # Sharded store: report residency so operators can see lazy
+            # segment loading (and eviction) at work.
+            store_stats["shards"] = shards
+            store_stats["loaded_segments"] = backend.loaded_segments()
         return {
             "store_version": self.store_version,
             "uptime_s": round(self.uptime_s(), 3),
             "ready": self.ready,
+            "store": store_stats,
             "config": {
                 "k": self.config.k,
                 "pool_size": self.config.pool_size,

@@ -309,6 +309,52 @@ class TestFrozenStore:
         )
         assert findings == []
 
+    def test_fires_on_add_to_sharded_local(self, lint_source):
+        findings = lint_source(
+            """
+            def build(store, triple):
+                frozen = store.sharded(8)
+                frozen.add(triple)
+            """,
+            rule=self.RULE,
+        )
+        assert len(findings) == 1
+        assert ".add()" in findings[0].message
+
+    def test_fires_on_sharded_backend_constructor(self, lint_source):
+        findings = lint_source(
+            """
+            from repro.rdf.shard import ShardedBackend
+
+            def build(segments, triple):
+                backend = ShardedBackend(segments)
+                backend.add_all([triple])
+            """,
+            rule=self.RULE,
+        )
+        assert len(findings) == 1
+
+    def test_fires_on_annotated_sharded_backend_parameter(self, lint_source):
+        findings = lint_source(
+            """
+            def corrupt(backend: "ShardedBackend", triple):
+                backend.add(triple)
+            """,
+            rule=self.RULE,
+        )
+        assert len(findings) == 1
+
+    def test_quiet_on_sharded_reads(self, lint_source):
+        findings = lint_source(
+            """
+            def query(store, sid):
+                frozen = store.sharded(4)
+                return list(frozen.triples_ids(s=sid))
+            """,
+            rule=self.RULE,
+        )
+        assert findings == []
+
 
 class TestMonotonicTime:
     RULE = "monotonic-time"
