@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """Sharded-store benchmark + lazy-loading RSS probe (BENCH_shard.json).
 
-Per graph size (10^4, 10^5, 10^6 triples — ``--quick`` drops the last):
+Per graph size (10^4, 10^5, 10^6 triples — ``--quick`` drops the last,
+``--full`` appends a 10^7 point and refreshes the scaling table):
 
 * ``single_build_N`` / ``shard_build_N``     — frozen-backend construction;
 * ``subject_query_single_N`` / ``..._sharded_N`` — bound-subject patterns
@@ -45,6 +46,7 @@ SCHEMA = "bench_shard/v1"
 SHARDS = 8
 FULL_SIZES = (10_000, 100_000, 1_000_000)
 QUICK_SIZES = (10_000, 100_000)
+FULL_EXTRA_SIZE = 10_000_000   # --full only; never CI-gated
 _PROBE_SUBJECT_LIMIT = 200
 
 
@@ -222,9 +224,11 @@ def run_probe(snapshot: str, subjects: list[int]) -> int:
     return 0
 
 
-def run_benchmarks(quick: bool, jobs: int) -> dict:
+def run_benchmarks(quick: bool, jobs: int, full: bool = False) -> dict:
     repeats = 1 if quick else 3
     sizes = QUICK_SIZES if quick else FULL_SIZES
+    if full and not quick:
+        sizes = sizes + (FULL_EXTRA_SIZE,)
     results = {}
 
     def record(name, timing):
@@ -241,7 +245,9 @@ def run_benchmarks(quick: bool, jobs: int) -> dict:
           f"K={SHARDS}, jobs={jobs}):")
     for total in sizes:
         bench_size(total, repeats, jobs, record)
-    probe = rss_probe(sizes[-1], jobs)
+    # The RSS probe compiles two snapshots of the probed graph; 10^6 keeps
+    # it comparable with earlier baselines and bounded even under --full.
+    probe = rss_probe(min(sizes[-1], 1_000_000), jobs)
 
     return {
         "schema": SCHEMA,
@@ -255,6 +261,21 @@ def run_benchmarks(quick: bool, jobs: int) -> dict:
         "rss_probe": probe,
         "benchmarks": results,
     }
+
+
+def write_scaling_table(triples_axis: tuple) -> None:
+    """Regenerate ``benchmarks/output/scaling_kg.txt`` with these sizes.
+
+    ``--full`` records the 10^7 point in the same table the benchmark
+    suite renders, so EXPERIMENTS.md quotes one consistent curve.
+    """
+    from repro.experiments.complexity import kg_size_scaling
+
+    result = kg_size_scaling(triples_axis=tuple(triples_axis))
+    out = (Path(__file__).resolve().parent.parent
+           / "benchmarks" / "output" / f"{result.experiment_id}.txt")
+    out.write_text(result.render() + "\n")
+    print(f"\nscaling table written to {out}")
 
 
 def check_regression(current: dict, baseline_path: Path, max_regression: float) -> int:
@@ -287,6 +308,10 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="smaller sizes, one repeat (CI smoke mode)")
+    parser.add_argument("--full", action="store_true",
+                        help="add the 10^7-triple point and refresh "
+                        "benchmarks/output/scaling_kg.txt (long; not "
+                        "CI-gated)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="segment-build worker count (default 1; 0 = auto)")
     parser.add_argument("--output", metavar="FILE", default=None,
@@ -306,7 +331,7 @@ def main(argv=None) -> int:
         subjects = [int(x) for x in args.probe_subjects.split(",") if x]
         return run_probe(args.probe, subjects)
 
-    payload = run_benchmarks(args.quick, args.jobs)
+    payload = run_benchmarks(args.quick, args.jobs, full=args.full)
     if not payload["rss_probe"]["rss_win"]:
         print("error: sharded lazy load did not beat the single-file "
               "resident size", file=sys.stderr)
@@ -314,6 +339,8 @@ def main(argv=None) -> int:
     if args.output:
         Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"\nbaseline written to {args.output}")
+    if args.full and not args.quick:
+        write_scaling_table(payload["sizes"])
     if args.check:
         return check_regression(payload, Path(args.check), args.max_regression)
     return 0

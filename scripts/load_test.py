@@ -38,12 +38,36 @@ process exits non-zero when any request errors, and ``--check FILE``
 additionally gates on p95 latency regressing more than
 ``--max-regression``x against a committed baseline.
 
+``--ingest`` switches to the live-ingest benchmark (schema
+``bench_ingest/v1`` → ``BENCH_ingest.json``): the server is started from
+a compiled snapshot with the write endpoints enabled, and the measured
+passes are
+
+* ``read_only``   — concurrent cache-bypassed reads (the baseline p95);
+* ``mixed``       — the same read load with a deterministic update
+  stream applied through ``POST /ingest`` at ``--write-ratio`` of total
+  requests (default 15%); read and write latencies are reported
+  separately, and read p95 must stay within the regression bound of the
+  read-only pass;
+* ``delta_curve`` — serial read p95 measured at increasing overlay
+  delta sizes (the cost of an ever-growing delta, the case for online
+  compaction);
+* ``compaction``  — a read load during which ``POST /compact`` folds
+  base + delta into a fresh frozen base and swaps it in; the pass must
+  finish with zero failed requests.
+
+The suite also asserts a full answer *flip*: a triple ingested mid-run
+changes a question's answer set, and the answer survives compaction.
+
 Usage::
 
     PYTHONPATH=src python scripts/load_test.py --clients 16 --output BENCH_serve.json
     PYTHONPATH=src python scripts/load_test.py --sweep-workers 1,2,4 --output BENCH_serve.json
     PYTHONPATH=src python scripts/load_test.py --quick --workers 2 \
         --check BENCH_serve.json --max-regression 3.0
+    PYTHONPATH=src python scripts/load_test.py --ingest --output BENCH_ingest.json
+    PYTHONPATH=src python scripts/load_test.py --ingest --quick \
+        --check BENCH_ingest.json --max-regression 3.0
 """
 
 from __future__ import annotations
@@ -62,6 +86,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 SCHEMA = "bench_serve/v2"
+INGEST_SCHEMA = "bench_ingest/v1"
 
 
 # --------------------------------------------------------------------- #
@@ -96,6 +121,30 @@ def _post_ask(
 def _get_json(base_url: str, path: str, timeout: float = 10.0) -> dict:
     with urllib.request.urlopen(f"{base_url}{path}", timeout=timeout) as response:
         return json.loads(response.read())
+
+
+def _post_json(
+    base_url: str, path: str, payload: dict, token: str | None = None,
+    timeout: float = 120.0,
+) -> tuple[int, dict]:
+    headers = {"Content-Type": "application/json"}
+    if token is not None:
+        headers["X-Ingest-Token"] = token
+    request = urllib.request.Request(
+        f"{base_url}{path}", data=json.dumps(payload).encode("utf-8"),
+        headers=headers,
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        try:
+            body = json.loads(error.read())
+        except Exception:
+            body = {}
+        return error.code, body
+    except (urllib.error.URLError, ConnectionError, OSError, TimeoutError) as error:
+        return 0, {"error": str(error)}
 
 
 def wait_ready(base_url: str, timeout: float = 60.0) -> dict:
@@ -331,10 +380,480 @@ def run_load_test(base_url: str, clients: int, questions: list[str]) -> dict:
 
 
 # --------------------------------------------------------------------- #
+# Live-ingest benchmark (--ingest)
+# --------------------------------------------------------------------- #
+
+def update_stream(count: int, seed: int = 23, namespace: str = "bench:ingest") -> list:
+    """A deterministic wire-format triple stream for the write passes.
+
+    Entities and predicates live in their own namespace so the stream
+    never collides with (or alters the answers of) the served dataset.
+    """
+    import random
+
+    rng = random.Random(seed)
+    return [
+        [
+            f"{namespace}/e{rng.randrange(max(count, 8))}",
+            f"{namespace}/p{rng.randrange(7)}",
+            f"{namespace}/e{rng.randrange(max(count, 8))}",
+        ]
+        for _ in range(count)
+    ]
+
+
+def _overlay_stats(base_url: str) -> dict:
+    store = _get_json(base_url, "/stats").get("store", {})
+    return store.get("overlay") or {}
+
+
+def run_mixed_pass(
+    base_url: str,
+    token: str,
+    questions: list[str],
+    clients: int,
+    write_ratio: float,
+    batch_size: int,
+    remove_pool: list,
+) -> dict:
+    """Concurrent cache-bypassed reads with a paced write stream.
+
+    One writer thread applies ``POST /ingest`` batches, paced against
+    read progress so that writes are ``write_ratio`` of total requests.
+    Every fourth batch also removes triples from ``remove_pool`` (base
+    triples from the pre-pass compaction — real tombstones, not delta
+    rollbacks).  Read and write latencies are reported separately: the
+    headline number is read p95 *under* writes.
+    """
+    reads_total = clients * len(questions)
+    writes_target = max(
+        1, int(round(reads_total * write_ratio / max(1.0 - write_ratio, 1e-9)))
+    )
+    stream = update_stream(writes_target * batch_size, seed=29)
+    read_latencies: list[float] = []
+    write_latencies: list[float] = []
+    errors: list[tuple[int, str]] = []
+    reads_done = 0
+    lock = threading.Lock()
+    readers_finished = threading.Event()
+
+    def reader(worker_questions: list[str]) -> None:
+        nonlocal reads_done
+        for question in worker_questions:
+            started = time.perf_counter()
+            status, _payload = _post_ask(base_url, question, no_cache=True)
+            elapsed = (time.perf_counter() - started) * 1000.0
+            with lock:
+                reads_done += 1
+                read_latencies.append(elapsed)
+                if status != 200:
+                    errors.append((status, question))
+
+    removes_sent = 0
+
+    def writer() -> None:
+        nonlocal removes_sent
+        pace = reads_total / writes_target
+        for index in range(writes_target):
+            while not readers_finished.is_set():
+                with lock:
+                    progress = reads_done
+                if progress >= index * pace:
+                    break
+                time.sleep(0.002)
+            batch = stream[index * batch_size:(index + 1) * batch_size]
+            payload: dict = {"add": batch}
+            if index % 4 == 3 and remove_pool:
+                victims = [remove_pool.pop() for _ in
+                           range(min(batch_size // 2, len(remove_pool)))]
+                payload["remove"] = victims
+                removes_sent += len(victims)
+            started = time.perf_counter()
+            status, body = _post_json(base_url, "/ingest", payload, token=token)
+            elapsed = (time.perf_counter() - started) * 1000.0
+            with lock:
+                write_latencies.append(elapsed)
+                if status != 200:
+                    errors.append((status, f"ingest[{index}]: {body}"))
+
+    threads = [
+        threading.Thread(target=reader, args=(list(questions),), daemon=True)
+        for _ in range(clients)
+    ]
+    writer_thread = threading.Thread(target=writer, daemon=True)
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    writer_thread.start()
+    for thread in threads:
+        thread.join()
+    readers_finished.set()
+    writer_thread.join()
+    wall = time.perf_counter() - started
+
+    reads = sorted(read_latencies)
+    writes = sorted(write_latencies)
+    total = len(reads) + len(writes)
+    result = {
+        "clients": clients,
+        "requests": total,
+        "reads": len(reads),
+        "writes": len(writes),
+        "write_ratio": round(len(writes) / total, 4) if total else 0.0,
+        "triples_added": len(writes) * batch_size,
+        "triples_removed": removes_sent,
+        "wall_s": round(wall, 4),
+        "throughput_qps": round(total / wall, 2) if wall > 0 else None,
+        "latency_ms": {
+            "p50": round(_percentile(reads, 0.50), 3),
+            "p95": round(_percentile(reads, 0.95), 3),
+            "p99": round(_percentile(reads, 0.99), 3),
+            "max": round(reads[-1], 3) if reads else 0.0,
+        },
+        "write_latency_ms": {
+            "p50": round(_percentile(writes, 0.50), 3),
+            "p95": round(_percentile(writes, 0.95), 3),
+            "max": round(writes[-1], 3) if writes else 0.0,
+        },
+        "errors": len(errors),
+    }
+    print(
+        f"  {'mixed':15s} {clients:3d} clients  {len(reads):5d} reads "
+        f"{len(writes):4d} writes ({result['write_ratio']:.0%})  "
+        f"read p95 {result['latency_ms']['p95']:7.2f} ms  "
+        f"write p95 {result['write_latency_ms']['p95']:7.2f} ms  "
+        f"errors {len(errors)}"
+    )
+    for status, what in errors[:5]:
+        print(f"    error {status}: {what!r}", file=sys.stderr)
+    return result
+
+
+def run_delta_curve(
+    base_url: str,
+    token: str,
+    questions: list[str],
+    targets: list[int],
+    batch_size: int = 250,
+) -> list[dict]:
+    """Serial read p95 at increasing overlay delta sizes.
+
+    Grows the delta to each target with deterministic adds and measures
+    a serial cache-bypassed read pass at that size — the latency cost of
+    postponing compaction, read straight off the server.
+    """
+    probe = questions[: min(12, len(questions))]
+    stream = update_stream(max(targets, default=0) + batch_size, seed=41,
+                           namespace="bench:curve")
+    applied = 0
+    curve: list[dict] = []
+    for target in targets:
+        while applied < target:
+            batch = stream[applied: applied + min(batch_size, target - applied)]
+            status, body = _post_json(
+                base_url, "/ingest", {"add": batch}, token=token
+            )
+            if status != 200:
+                raise RuntimeError(f"delta-curve ingest failed: {status} {body}")
+            applied += len(batch)
+        latencies: list[float] = []
+        for _ in range(3):
+            for question in probe:
+                started = time.perf_counter()
+                status, _ = _post_ask(base_url, question, no_cache=True)
+                latencies.append((time.perf_counter() - started) * 1000.0)
+        ordered = sorted(latencies)
+        entry = {
+            "target_delta": target,
+            "delta_adds": _overlay_stats(base_url).get("delta_adds"),
+            "requests": len(ordered),
+            "p50_ms": round(_percentile(ordered, 0.50), 3),
+            "p95_ms": round(_percentile(ordered, 0.95), 3),
+        }
+        curve.append(entry)
+        print(f"  delta={entry['delta_adds']:>6}  "
+              f"p50 {entry['p50_ms']:7.2f} ms  p95 {entry['p95_ms']:7.2f} ms")
+    return curve
+
+
+def run_compaction_pass(
+    base_url: str, token: str, questions: list[str], clients: int
+) -> dict:
+    """A read load during which the server compacts and swaps its store.
+
+    The pass fails (nonzero ``errors``) if any read or the compaction
+    itself errors — the acceptance bar for a zero-downtime swap.
+    """
+    delta_before = _overlay_stats(base_url)
+    latencies: list[float] = []
+    errors: list[tuple[int, str]] = []
+    reads_done = 0
+    lock = threading.Lock()
+    compact_result: dict = {}
+
+    def reader(worker_questions: list[str]) -> None:
+        nonlocal reads_done
+        for question in worker_questions:
+            started = time.perf_counter()
+            status, _payload = _post_ask(base_url, question, no_cache=True)
+            with lock:
+                reads_done += 1
+                latencies.append((time.perf_counter() - started) * 1000.0)
+                if status != 200:
+                    errors.append((status, question))
+
+    def compactor() -> None:
+        # Wait for the read load to be genuinely in flight, then compact.
+        target = max(1, (clients * len(questions)) // 10)
+        while True:
+            with lock:
+                if reads_done >= target:
+                    break
+            time.sleep(0.005)
+        started = time.perf_counter()
+        status, body = _post_json(base_url, "/compact", {}, token=token,
+                                  timeout=600.0)
+        compact_result["status"] = status
+        compact_result["wall_ms"] = round(
+            (time.perf_counter() - started) * 1000.0, 3
+        )
+        compact_result["body"] = body
+        if status != 200:
+            with lock:
+                errors.append((status, f"compact: {body}"))
+
+    threads = [
+        threading.Thread(target=reader, args=(list(questions),), daemon=True)
+        for _ in range(clients)
+    ]
+    compact_thread = threading.Thread(target=compactor, daemon=True)
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    compact_thread.start()
+    for thread in threads:
+        thread.join()
+    compact_thread.join()
+    wall = time.perf_counter() - started
+
+    delta_after = _overlay_stats(base_url)
+    ordered = sorted(latencies)
+    result = {
+        "clients": clients,
+        "requests": len(ordered),
+        "wall_s": round(wall, 4),
+        "latency_ms": {
+            "p50": round(_percentile(ordered, 0.50), 3),
+            "p95": round(_percentile(ordered, 0.95), 3),
+            "max": round(ordered[-1], 3) if ordered else 0.0,
+        },
+        "compact_ms": compact_result.get("wall_ms"),
+        "compact_status": compact_result.get("status"),
+        "delta_before": delta_before,
+        "delta_after": delta_after,
+        "errors": len(errors),
+    }
+    print(
+        f"  {'compaction':15s} {clients:3d} clients  {len(ordered):5d} reads  "
+        f"read p95 {result['latency_ms']['p95']:7.2f} ms  "
+        f"compact {result['compact_ms']} ms  errors {len(errors)}"
+    )
+    for status, what in errors[:5]:
+        print(f"    error {status}: {what!r}", file=sys.stderr)
+    return result
+
+
+_PATTERN_TOKEN = r"(\?\w+|<[^>]+>)"
+
+
+def _flip_trial_triple(payload: dict) -> list | None:
+    """The wire triple that should extend this answer's top match, or None.
+
+    Only answers whose top SPARQL is a single triple pattern with one
+    variable qualify; the variable is substituted with a fresh entity.
+    """
+    import re
+
+    if not payload.get("answers"):
+        return None
+    sparql = payload.get("sparql") or ""
+    patterns = re.findall(
+        rf"^\s*{_PATTERN_TOKEN}\s+{_PATTERN_TOKEN}\s+{_PATTERN_TOKEN}\s*\.",
+        sparql, re.MULTILINE,
+    )
+    if len(patterns) != 1:
+        return None
+    s, p, o = patterns[0]
+    if p.startswith("?") or len([t for t in (s, p, o) if t.startswith("?")]) != 1:
+        return None
+    flip_entity = "bench:flip/Candidate"
+    return [
+        flip_entity if s.startswith("?") else s.strip("<>"),
+        p.strip("<>"),
+        flip_entity if o.startswith("?") else o.strip("<>"),
+    ]
+
+
+def assert_answer_flip(
+    base_url: str, token: str, questions: list[str]
+) -> dict:
+    """Ingest one triple that visibly changes a question's answer set.
+
+    Candidate questions (single-pattern top SPARQL) are tried in order:
+    ingest the substituted triple, re-ask, and — because a class-typed
+    target vertex only binds instances of its class, which a fresh
+    entity is not — roll the triple back and move on when the answer
+    set does not change.  The flipped answer must appear on a
+    cache-*enabled* ask too (the store-version cache key invalidates
+    stale entries by construction), and the suite re-asserts it after
+    compaction.
+    """
+    flip_entity = "bench:flip/Candidate"
+    tried = 0
+    for question in questions:
+        status, payload = _post_ask(base_url, question, no_cache=True)
+        if status != 200:
+            continue
+        wire = _flip_trial_triple(payload)
+        if wire is None:
+            continue
+        tried += 1
+        before = list(payload["answers"])
+        # Warm the cache with the pre-flip answer so the post-flip cached
+        # ask proves version-keyed invalidation, not a cold cache.
+        _post_ask(base_url, question, no_cache=False)
+        status, body = _post_json(
+            base_url, "/ingest", {"add": [wire]}, token=token
+        )
+        if status != 200:
+            raise RuntimeError(f"flip ingest failed: {status} {body}")
+        status, after = _post_ask(base_url, question, no_cache=True)
+        flipped = status == 200 and flip_entity in (after.get("answers") or [])
+        if not flipped:
+            # Class-constrained target — undo and try the next question.
+            _post_json(base_url, "/ingest", {"remove": [wire]}, token=token)
+            continue
+        status, cached_after = _post_ask(base_url, question, no_cache=False)
+        flipped_cached = (
+            status == 200 and flip_entity in (cached_after.get("answers") or [])
+        )
+        result = {
+            "question": question,
+            "ingested": wire,
+            "candidates_tried": tried,
+            "answers_before": before,
+            "answers_after": after.get("answers"),
+            "flipped": True,
+            "flipped_with_cache_enabled": bool(flipped_cached),
+        }
+        print(f"  answer flip: {question!r} + {wire} -> flipped=True "
+              f"(cached path: {flipped_cached}, tried {tried})")
+        if not flipped_cached:
+            raise RuntimeError(f"stale cached answer after flip: {result}")
+        return result
+    raise RuntimeError(
+        f"no question flipped ({tried} single-pattern candidates tried)"
+    )
+
+
+def recheck_answer_flip(base_url: str, flip: dict) -> bool:
+    """The flipped answer must survive compaction (folded into the base)."""
+    status, payload = _post_ask(base_url, flip["question"], no_cache=True)
+    ok = status == 200 and "bench:flip/Candidate" in (payload.get("answers") or [])
+    print(f"  answer flip after compaction: persisted={ok}")
+    return ok
+
+
+def run_ingest_suite(
+    base_url: str,
+    token: str,
+    clients: int,
+    questions: list[str],
+    write_ratio: float,
+    batch_size: int,
+    delta_targets: list[int],
+) -> dict:
+    health = wait_ready(base_url)
+    print(f"server ready (store v{health.get('store_version')}); "
+          f"{len(questions)} questions, {clients} clients, "
+          f"write ratio {write_ratio:.0%}")
+
+    # Seed + compact: a small ingested namespace folded into the base, so
+    # the mixed pass's removes tombstone *base* triples (the hard case)
+    # without touching triples any question depends on.
+    seed_triples = update_stream(max(batch_size * 8, 64), seed=17)
+    status, body = _post_json(base_url, "/ingest", {"add": seed_triples},
+                              token=token)
+    if status != 200:
+        raise RuntimeError(f"seed ingest failed: {status} {body}")
+    status, body = _post_json(base_url, "/compact", {}, token=token)
+    if status != 200:
+        raise RuntimeError(f"seed compaction failed: {status} {body}")
+    remove_pool = [list(t) for t in {tuple(t) for t in seed_triples}]
+    remove_pool.sort()
+
+    for question in questions[: min(5, len(questions))]:
+        _post_ask(base_url, question, no_cache=True)
+
+    answers: dict[str, list] = {}
+    read_only = run_pass(
+        base_url, questions, clients=clients, name="read_only",
+        no_cache=True, collect_answers=answers,
+    )
+    mixed = run_mixed_pass(
+        base_url, token, questions, clients, write_ratio, batch_size,
+        remove_pool,
+    )
+    flip = assert_answer_flip(base_url, token, questions)
+    print("  delta curve (serial read latency vs overlay delta size):")
+    curve = run_delta_curve(base_url, token, questions, delta_targets)
+    compaction = run_compaction_pass(base_url, token, questions, clients)
+    flip_persisted = recheck_answer_flip(base_url, flip)
+    flip["persisted_after_compaction"] = flip_persisted
+
+    read_p95 = read_only["latency_ms"]["p95"]
+    mixed_p95 = mixed["latency_ms"]["p95"]
+    ratio = round(mixed_p95 / read_p95, 3) if read_p95 > 0 else None
+    print(f"  read p95 under writes vs read-only: {ratio}x")
+
+    metrics = _get_json(base_url, "/metrics")
+    return {
+        "schema": INGEST_SCHEMA,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "host_cpus": os.cpu_count(),
+        "clients": clients,
+        "questions": len(questions),
+        "write_ratio": write_ratio,
+        "ingest_batch": batch_size,
+        "passes": {
+            "read_only": read_only,
+            "mixed": mixed,
+            "compaction": compaction,
+        },
+        "mixed_read_p95_vs_read_only": ratio,
+        "delta_curve": curve,
+        "answer_flip": flip,
+        "answers_sha256": answers_digest(answers),
+        "counters": {
+            name: value
+            for name, value in metrics.get("counters", {}).items()
+            if name.startswith("serve.ingest") or name == "serve.compactions"
+        },
+    }
+
+
+# --------------------------------------------------------------------- #
 # Self-hosted server (no --url)
 # --------------------------------------------------------------------- #
 
-def start_local_server(dataset: str, workers: int = 1, snapshot: str | None = None):
+def start_local_server(
+    dataset: str,
+    workers: int = 1,
+    snapshot: str | None = None,
+    ingest_token: str | None = None,
+):
     """``repro serve`` as a subprocess on an ephemeral port (returns
     ``(base_url, shutdown_callable)``).
 
@@ -358,6 +877,8 @@ def start_local_server(dataset: str, workers: int = 1, snapshot: str | None = No
     ]
     if snapshot:
         command += ["--snapshot", snapshot]
+    if ingest_token:
+        command += ["--ingest-token", ingest_token]
     process = subprocess.Popen(
         command, env=env,
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
@@ -387,10 +908,13 @@ def start_local_server(dataset: str, workers: int = 1, snapshot: str | None = No
 # Regression gate
 # --------------------------------------------------------------------- #
 
-def check_regression(current: dict, baseline_path: Path, max_regression: float) -> int:
+def check_regression(
+    current: dict, baseline_path: Path, max_regression: float,
+    schema: str = SCHEMA,
+) -> int:
     baseline = json.loads(baseline_path.read_text())
-    if baseline.get("schema") != SCHEMA:
-        print(f"error: {baseline_path} is not a {SCHEMA} baseline", file=sys.stderr)
+    if baseline.get("schema") != schema:
+        print(f"error: {baseline_path} is not a {schema} baseline", file=sys.stderr)
         return 2
     failures = 0
     print(f"\nregression check against {baseline_path} (limit {max_regression}x):")
@@ -468,6 +992,83 @@ def run_sweep(
     return payload
 
 
+def run_ingest_main(args, clients: int) -> int:
+    """The ``--ingest`` flow: snapshot-served QALD + live write stream."""
+    import shutil
+    import subprocess
+    import tempfile
+
+    question_cap = args.questions if args.questions else (25 if args.quick else None)
+    questions = build_questions("qald", question_cap)
+    targets_raw = args.delta_targets or ("0,200,800" if args.quick else "0,500,2000")
+    delta_targets = sorted(
+        int(n) for n in targets_raw.split(",") if n.strip()
+    )
+
+    if args.url:
+        base_url, shutdown = args.url.rstrip("/"), None
+        tempdir = None
+    else:
+        tempdir = None
+        snapshot = args.snapshot
+        if snapshot is None:
+            # The overlay path needs a *frozen* base; a from-source server
+            # would start on a mutable DictBackend.  Compile a snapshot of
+            # the benchmark dataset (dbpedia-mini: QALD questions really
+            # answer, so the flip assertion has teeth).
+            tempdir = tempfile.mkdtemp(prefix="repro-ingest-bench-")
+            snapshot = str(Path(tempdir) / "graph.snap")
+            repo_root = Path(__file__).resolve().parent.parent
+            env = dict(os.environ)
+            env["PYTHONPATH"] = os.pathsep.join(
+                filter(None, [str(repo_root / "src"), env.get("PYTHONPATH")])
+            )
+            print("compiling benchmark snapshot (dbpedia-mini) ...")
+            subprocess.run(
+                [sys.executable, "-m", "repro", "compile", snapshot],
+                env=env, check=True,
+            )
+        print(f"self-hosting ingest server (snapshot={snapshot}) ...")
+        base_url, shutdown = start_local_server(
+            "dbpedia-mini", workers=1, snapshot=snapshot,
+            ingest_token=args.ingest_token,
+        )
+    try:
+        payload = run_ingest_suite(
+            base_url, args.ingest_token, clients, questions,
+            args.write_ratio, args.ingest_batch, delta_targets,
+        )
+    finally:
+        if shutdown is not None:
+            shutdown()
+        if tempdir is not None:
+            shutil.rmtree(tempdir, ignore_errors=True)
+
+    if args.output:
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nbenchmark written to {args.output}")
+
+    rc = 0
+    total_errors = sum(p["errors"] for p in payload["passes"].values())
+    if total_errors:
+        print(f"error: {total_errors} request(s) failed", file=sys.stderr)
+        rc = 1
+    ratio = payload["mixed_read_p95_vs_read_only"]
+    if ratio is not None and ratio > args.max_regression:
+        print(f"error: read p95 under writes is {ratio}x the read-only "
+              f"baseline (limit {args.max_regression}x)", file=sys.stderr)
+        rc = 1
+    if not payload["answer_flip"].get("persisted_after_compaction"):
+        print("error: flipped answer lost after compaction", file=sys.stderr)
+        rc = 1
+    if args.check:
+        rc = max(rc, check_regression(
+            payload, Path(args.check), args.max_regression,
+            schema=INGEST_SCHEMA,
+        ))
+    return rc
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--url", default=None,
@@ -505,9 +1106,26 @@ def main(argv=None) -> int:
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail unless cache-miss concurrent throughput is "
                         "at least this multiple of the serial pass")
+    parser.add_argument("--ingest", action="store_true",
+                        help="run the live-ingest benchmark (mixed read/write, "
+                        "delta curve, compaction swap) instead of the read "
+                        "load test")
+    parser.add_argument("--ingest-token", default="bench-ingest-token",
+                        help="shared secret for the write endpoints "
+                        "(forwarded to the self-hosted server)")
+    parser.add_argument("--write-ratio", type=float, default=0.15,
+                        help="ingest requests as a fraction of total requests "
+                        "in the mixed pass (default 0.15)")
+    parser.add_argument("--ingest-batch", type=int, default=10,
+                        help="triples per ingest request (default 10)")
+    parser.add_argument("--delta-targets", metavar="N,N,...", default=None,
+                        help="overlay delta sizes for the latency curve "
+                        "(default 0,500,2000; quick 0,200,800)")
     args = parser.parse_args(argv)
 
     clients = 8 if args.quick else args.clients
+    if args.ingest:
+        return run_ingest_main(args, clients)
     question_cap = args.questions if args.questions else (25 if args.quick else None)
     questions = build_questions(args.question_set, question_cap)
 

@@ -82,7 +82,9 @@ class LintConfig:
     fork_risky: tuple[str, ...] = DEFAULT_FORK_RISKY
     #: method names that count as delegated resets in reset_after_fork.
     reset_methods: tuple[str, ...] = ("reset_after_fork",)
-    mutating_store_methods: tuple[str, ...] = ("add", "add_all", "remove")
+    mutating_store_methods: tuple[str, ...] = (
+        "add", "add_all", "add_all_ids", "remove",
+    )
     frozen_constructors: tuple[str, ...] = (
         "CompactBackend",
         "CompactBackend.from_triples",
@@ -91,6 +93,13 @@ class LintConfig:
         "ShardedBackend.lazy",
     )
     frozen_provenance_calls: tuple[str, ...] = ("compacted", "sharded", "load_snapshot")
+    #: method calls whose *receiver* is thereby known frozen: calling
+    #: .overlay() requires (and forever after assumes) a frozen base.
+    frozen_receiver_calls: tuple[str, ...] = ("overlay",)
+    #: constructors that capture their first argument as a frozen base —
+    #: OverlayBackend(base) promises never to mutate base, and neither
+    #: may anyone else for the overlay's lifetime.
+    frozen_capture_constructors: tuple[str, ...] = ("OverlayBackend",)
     #: annotation names that mark a parameter as a frozen store/backend.
     frozen_annotations: tuple[str, ...] = ("CompactBackend", "ShardedBackend")
     #: module prefixes where wall-clock time.time() is legitimate

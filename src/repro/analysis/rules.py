@@ -177,8 +177,10 @@ class FrozenStoreRule(Rule):
 
     name = "frozen-store"
     summary = (
-        "objects obtained from .compacted()/.sharded(), load_snapshot(), or "
-        "frozen-backend construction must not receive add/remove calls"
+        "objects obtained from .compacted()/.sharded(), load_snapshot(), "
+        "frozen-backend construction, or captured as an overlay base "
+        "(.overlay() receivers, OverlayBackend(base)) must not receive "
+        "add/remove calls"
     )
 
     def check(self, module: ModuleInfo, config: "LintConfig") -> Iterator[Finding]:
@@ -231,6 +233,33 @@ class FrozenStoreRule(Rule):
                     node.target, ast.Name
                 ):
                     frozen_names.add(node.target.id)
+            elif isinstance(node, ast.Call):
+                # Overlay provenance, two shapes: `base.overlay()` only
+                # works over (and perpetually assumes) a frozen base, and
+                # `OverlayBackend(base)` captures its first argument with
+                # the promise that nobody mutates it afterwards.
+                callee = node.func
+                if (
+                    isinstance(callee, ast.Attribute)
+                    and callee.attr in config.frozen_receiver_calls
+                ):
+                    receiver = callee.value
+                    if isinstance(receiver, ast.Name):
+                        frozen_names.add(receiver.id)
+                    elif is_self_attribute(receiver):
+                        frozen_names.add(f"self.{receiver.attr}")
+                dotted = dotted_name(callee)
+                if (
+                    dotted is not None
+                    and _name_matches(dotted, config.frozen_capture_constructors)
+                    is not None
+                    and node.args
+                ):
+                    captured = node.args[0]
+                    if isinstance(captured, ast.Name):
+                        frozen_names.add(captured.id)
+                    elif is_self_attribute(captured):
+                        frozen_names.add(f"self.{captured.attr}")
         # Parameters annotated with a frozen backend type are frozen too.
         args_node = getattr(func, "args", None)
         if args_node is not None:

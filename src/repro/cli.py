@@ -167,8 +167,19 @@ def cmd_shell(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    import os
+
     from repro.serve import build_server
 
+    ingest_token = args.ingest_token or os.environ.get("REPRO_INGEST_TOKEN") or None
+    if ingest_token and args.workers > 1:
+        # Each pre-fork worker holds its own copy-on-write view of the
+        # store; a write applied through one worker would silently
+        # diverge the others.  Live ingest is single-worker by design.
+        raise SystemExit(
+            "error: --ingest-token requires --workers 1 (each pre-fork "
+            "worker has a private store copy; writes would diverge them)"
+        )
     engine = _build_engine(args)
     source = (
         f"snapshot {args.snapshot}" if args.snapshot
@@ -193,12 +204,16 @@ def cmd_serve(args) -> int:
             flush=True,
         )
         return supervisor.run()
-    server = build_server(engine, host=args.host, port=args.port)
+    server = build_server(
+        engine, host=args.host, port=args.port, ingest_token=ingest_token
+    )
     host, port = server.server_address[:2]
     print(
         f"repro serve listening on http://{host}:{port} "
         f"(source={source}, pool={engine.config.pool_size}, "
-        f"capacity={engine.admission.capacity}, store v{engine.store_version})",
+        f"capacity={engine.admission.capacity}, "
+        f"ingest={'on' if ingest_token else 'off'}, "
+        f"store v{engine.store_version})",
         flush=True,
     )
     try:
@@ -290,6 +305,59 @@ def cmd_compile(args) -> int:
             info.section_bytes.items(), key=lambda kv: -kv[1]
         ):
             print(f"  {name:12s} {size:>10d} bytes")
+    return 0
+
+
+def cmd_compact(args) -> int:
+    """Trigger online compaction on a running ``repro serve`` instance.
+
+    POSTs the authenticated ``/compact`` endpoint: the server re-compacts
+    its overlay store (base + delta + tombstones) into a fresh frozen
+    base and swaps it in without dropping a request.
+    """
+    import json as json_module
+    import os
+    import urllib.error
+    import urllib.request
+
+    token = args.token or os.environ.get("REPRO_INGEST_TOKEN") or None
+    if not token:
+        print(
+            "error: an ingest token is required (--token or REPRO_INGEST_TOKEN)",
+            file=sys.stderr,
+        )
+        return 2
+    payload: dict = {}
+    if args.shards is not None:
+        payload["shards"] = args.shards
+    if args.snapshot_out is not None:
+        payload["snapshot_path"] = args.snapshot_out
+    request = urllib.request.Request(
+        f"{args.url.rstrip('/')}/compact",
+        data=json_module.dumps(payload).encode("utf-8"),
+        headers={
+            "Content-Type": "application/json",
+            "X-Ingest-Token": token,
+        },
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=args.timeout) as response:
+            body = json_module.loads(response.read())
+    except urllib.error.HTTPError as error:
+        detail = error.read().decode("utf-8", "replace")
+        print(f"error: server answered {error.code}: {detail}", file=sys.stderr)
+        return 1
+    except (urllib.error.URLError, OSError) as error:
+        print(f"error: cannot reach {args.url}: {error}", file=sys.stderr)
+        return 1
+    layout = f"{body['shards']} shards" if body.get("shards") else "single backend"
+    print(
+        f"compacted {body['triples']} triples into a fresh base "
+        f"({layout}, store v{body['store_version']})"
+    )
+    if body.get("snapshot"):
+        print(f"snapshot written to {body['snapshot']}")
     return 0
 
 
@@ -434,6 +502,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission occupancy in [0,1] past which requests are answered "
         "in degraded mode (smaller k, trimmed candidates); 1.0 disables",
     )
+    serve.add_argument(
+        "--ingest-token", metavar="TOKEN", default=None,
+        help="enable the authenticated POST /ingest and /compact write "
+        "endpoints with this shared secret (or set REPRO_INGEST_TOKEN); "
+        "requires --workers 1",
+    )
     add_source_flags(serve)
     serve.set_defaults(func=cmd_serve)
 
@@ -499,6 +573,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="print per-section sizes"
     )
     compile_cmd.set_defaults(func=cmd_compile)
+
+    compact = commands.add_parser(
+        "compact",
+        help="re-compact a running server's overlay store (base + delta) "
+        "into a fresh frozen base, swapped in without downtime",
+    )
+    compact.add_argument(
+        "--url", default="http://127.0.0.1:8765",
+        help="base URL of the running repro serve instance",
+    )
+    compact.add_argument(
+        "--token", default=None,
+        help="ingest token (default: the REPRO_INGEST_TOKEN environment "
+        "variable)",
+    )
+    compact.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="rebuild into a K-segment sharded base (default: single)",
+    )
+    compact.add_argument(
+        "--snapshot-out", metavar="FILE", default=None,
+        help="also persist a compiled snapshot of the compacted state "
+        "(a path on the server's filesystem)",
+    )
+    compact.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="seconds to wait for the compaction to finish",
+    )
+    compact.set_defaults(func=cmd_compact)
     return parser
 
 

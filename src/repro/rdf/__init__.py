@@ -28,6 +28,7 @@ from repro.rdf.vocab import (
 )
 from repro.rdf.backend import CompactBackend, DictBackend, StoreBackend
 from repro.rdf.dictionary import TermDictionary
+from repro.rdf.overlay import OverlayBackend
 from repro.rdf.shard import ShardedBackend
 from repro.rdf.store import TripleStore
 from repro.rdf.graph import Direction, Edge, KnowledgeGraph
@@ -56,6 +57,7 @@ __all__ = [
     "StoreBackend",
     "DictBackend",
     "CompactBackend",
+    "OverlayBackend",
     "ShardedBackend",
     "Direction",
     "Edge",

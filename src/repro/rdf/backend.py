@@ -63,6 +63,8 @@ class StoreBackend(Protocol):
 
     def add(self, s: int, p: int, o: int) -> bool: ...
 
+    def add_all_ids(self, triples: Iterable[IdTriple]) -> int: ...
+
     def remove(self, s: int, p: int, o: int) -> bool: ...
 
     def contains(self, s: int, p: int, o: int) -> bool: ...
@@ -136,6 +138,16 @@ class DictBackend:
         self._size += 1
         self._version += 1
         return True
+
+    def add_all_ids(self, triples: Iterable[IdTriple]) -> int:
+        """Bulk insert; returns how many triples were new.
+
+        The version counter advances per new triple (never one bump per
+        batch): every intermediate store state stays distinguishable, so
+        version-keyed caches can never alias across a batch boundary.
+        """
+        add = self.add
+        return sum(1 for s, p, o in triples if add(s, p, o))
 
     def remove(self, s: int, p: int, o: int) -> bool:
         objects = self._spo.get(s, {}).get(p)
@@ -343,6 +355,12 @@ class CompactBackend:
     # ------------------------------------------------------------------ #
 
     def add(self, s: int, p: int, o: int) -> bool:
+        raise StoreFrozenError(
+            "CompactBackend is read-only; mutate a DictBackend store and "
+            "recompact (TripleStore.compacted) or recompile the snapshot"
+        )
+
+    def add_all_ids(self, triples: Iterable[IdTriple]) -> int:
         raise StoreFrozenError(
             "CompactBackend is read-only; mutate a DictBackend store and "
             "recompact (TripleStore.compacted) or recompile the snapshot"

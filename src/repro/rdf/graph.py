@@ -105,15 +105,26 @@ class KnowledgeGraph:
         self._instances: dict[tuple[int, bool], frozenset[int]] = {}
         self._incident: dict[int, frozenset[tuple[int, Direction]]] = {}
 
-    def refresh(self) -> None:
+    def refresh(self, incremental: bool = False) -> None:
         """Drop caches so they rebuild against the store's current contents.
 
         This also drops the adjacency kernel, which transitively invalidates
         everything hanging off it: the walk-path LRU, the incident-step
         signatures, and the mining scratch regions.
+
+        ``incremental=True`` (the live-ingest path) replaces the kernel
+        eagerly by *patching* the previous one — only rows for nodes the
+        store reports as touched are rebuilt, the rest are reused by
+        reference — instead of scheduling a cold rebuild.  Falls back to
+        the cold build when the backend cannot report touched nodes or
+        the structural vocabulary changed.  Callers must quiesce writers
+        while this runs (the serve layer's ingest path serializes).
         """
         with self._kernel_lock:
+            stale = self._kernel
             self._kernel = None
+            if incremental and stale is not None:
+                self._kernel = AdjacencyKernel(self.store, patch_from=stale)
         self._class_ids = None
         self._label_index = None
         self._literals_by_lexical = None

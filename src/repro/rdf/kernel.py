@@ -118,6 +118,7 @@ class AdjacencyKernel:
         store: TripleStore,
         prebuilt_rows: dict[int, AdjacencyRow] | None = None,
         build_jobs: int = 1,
+        patch_from: "AdjacencyKernel | None" = None,
     ):
         self.store = store
         self.store_version = store.version
@@ -137,6 +138,11 @@ class AdjacencyKernel:
             # kernel built against the very same (id-stable) store, so
             # adopting them verbatim reproduces that kernel exactly.
             self._full = prebuilt_rows
+        elif patch_from is not None and self._can_patch(patch_from):
+            # Incremental path: only rows touched since the old kernel's
+            # store version are rebuilt; every other row is the old
+            # kernel's tuple, reused by reference.
+            self._patch(patch_from)
         elif isinstance(store.backend, ShardedBackend):
             # Shard-parallel build: per-segment partial rows merged per
             # node in source-subject order — byte-identical to _build()
@@ -190,6 +196,84 @@ class AdjacencyKernel:
     def full_rows(self) -> dict[int, AdjacencyRow]:
         """The complete per-node row index (read-only; snapshot compiler)."""
         return self._full
+
+    # ------------------------------------------------------------------ #
+    # Incremental patching
+    # ------------------------------------------------------------------ #
+
+    def _can_patch(self, old: "AdjacencyKernel") -> bool:
+        """Whether ``old``'s rows can be carried forward and patched.
+
+        The backend must report which nodes mutations touched
+        (:meth:`~repro.rdf.overlay.OverlayBackend.touched_since`), the
+        old kernel must not be newer than the store, and the structural
+        vocabulary must be unchanged — a first ``rdf:type``/``rdfs:label``
+        triple changes which predicates *every* row filters, so patching
+        would be unsound and the cold build takes over.
+        """
+        backend = self.store.backend
+        return (
+            hasattr(backend, "touched_since")
+            and old.store_version <= self.store_version
+            and old.structural_predicate_ids == self.structural_predicate_ids
+        )
+
+    def _patch(self, old: "AdjacencyKernel") -> None:
+        """Adopt ``old``'s rows, rebuilding only the dirtied ones.
+
+        Byte-identical to a cold :meth:`_build` over the current store:
+        the per-row rebuild replays the exact canonical visit order (all
+        source subjects ascending, predicates ascending, objects
+        ascending) restricted to one target node.  Callers must quiesce
+        writers for the duration (the engine's ingest lock does).
+        """
+        dirty = self.store.backend.touched_since(old.store_version)  # type: ignore[attr-defined]
+        rows = dict(old.full_rows())
+        for node in dirty:
+            row = self._rebuild_row(node)
+            if row[0]:
+                rows[node] = row
+            else:
+                rows.pop(node, None)
+        self._full = rows
+
+    def _rebuild_row(self, node: int) -> AdjacencyRow:
+        """One node's row, in the canonical order :meth:`_build` produces.
+
+        A node's row accumulates entries as the full build visits source
+        subjects in ascending order: visiting subject ``s`` appends, per
+        sorted predicate and sorted object, a forward step to ``s``'s own
+        row and a backward step to each object's row (so a self-loop
+        contributes its forward then its backward entry adjacently).
+        """
+        structural = self.structural_predicate_ids
+        store = self.store
+        out_row = store.out_index(node)
+        in_row = store.in_index(node)
+        sources = set(in_row)
+        if any(pid not in structural for pid in out_row):
+            sources.add(node)
+        steps: list[int] = []
+        nbrs: list[int] = []
+        for sid in sorted(sources):
+            if sid == node:
+                for pid in sorted(out_row):
+                    if pid in structural:
+                        continue
+                    fwd = pid + 1
+                    for oid in sorted(out_row[pid]):
+                        steps.append(fwd)
+                        nbrs.append(oid)
+                        if oid == node:
+                            steps.append(-fwd)
+                            nbrs.append(node)
+            else:
+                for pid in sorted(in_row[sid]):
+                    if pid in structural:
+                        continue
+                    steps.append(-(pid + 1))
+                    nbrs.append(sid)
+        return (tuple(steps), tuple(nbrs))
 
     # ------------------------------------------------------------------ #
     # Adjacency

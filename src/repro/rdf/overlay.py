@@ -1,0 +1,532 @@
+"""Overlay backend: a frozen base plus a small mutable delta.
+
+Live ingest needs a store that accepts writes while serving reads from a
+compiled artifact.  :class:`OverlayBackend` composes
+
+* a **frozen base** — a :class:`~repro.rdf.backend.CompactBackend` or
+  :class:`~repro.rdf.shard.ShardedBackend`, typically mmap-loaded from a
+  snapshot; the overlay never mutates it;
+* a **delta** of added triples, and
+* a **tombstone set** of removed base triples,
+
+and merges every read view of the :class:`~repro.rdf.backend.StoreBackend`
+protocol — ``triples_ids`` in all pattern shapes, counts,
+``out_index``/``in_index``, the vocabulary iterators, ``iter_out_rows`` —
+so the composite is observably identical to a :class:`~repro.rdf.backend.
+DictBackend` rebuilt from the merged triples, at any delta size.
+
+Mutation semantics keep the two sides disjoint: adding a triple the base
+already holds un-tombstoned is a no-op; adding a tombstoned triple clears
+the tombstone instead of entering the delta; removing a delta triple
+drops it from the delta; removing a base triple records a tombstone.
+Every successful mutation bumps the monotone ``version`` counter by one
+(also in :meth:`add_all_ids` — per-triple monotonicity is what lets the
+serve layer's version-keyed answer/link caches invalidate for free).
+
+Concurrency: writers serialize on ``_write_lock``; readers are lock-free.
+Both delta indexes publish **copy-on-write rows** — the per-key inner
+dicts and their frozenset leaves are never mutated after being assigned
+into the outer dict, so a reader holding a row sees one consistent
+generation of it.  Full-scan reads snapshot outer key sets before
+iterating.  A read that races a write may observe the store just before
+or just after that write (either is a linearizable outcome); it never
+observes a torn row.
+
+The overlay also records, per node, the version that last touched it
+(:meth:`touched_since`), which is what lets
+:class:`~repro.rdf.kernel.AdjacencyKernel` patch only the adjacency rows
+a delta actually dirtied.  Background re-compaction of base+delta into a
+fresh frozen store lives at the serve layer (``QAEngine.compact``); after
+the swap a new overlay starts empty over the new base at the same
+version, so derived caches stay valid.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import AbstractSet, Callable, Iterable, Iterator, Mapping
+
+from repro.contracts import guarded_by
+from repro.rdf.backend import IdTriple, StoreBackend
+
+_EMPTY_SET: frozenset[int] = frozenset()
+
+#: outer key → {inner key → frozenset(values)} — one permutation of a delta.
+_DeltaPerm = dict[int, dict[int, frozenset[int]]]
+
+
+class _DeltaIndex:
+    """Three permutation indexes with copy-on-write rows.
+
+    The mutable counterpart of a ``DictBackend`` sized for small deltas,
+    with one structural difference: mutation never edits a published row
+    in place — it builds a replacement dict/frozenset and assigns it into
+    the outer index, so lock-free readers always see a complete row.
+    All mutation happens under the owning overlay's write lock.
+    """
+
+    __slots__ = ("_spo", "_pos", "_osp", "size")
+
+    def __init__(self) -> None:
+        self._spo: _DeltaPerm = {}
+        self._pos: _DeltaPerm = {}
+        self._osp: _DeltaPerm = {}
+        self.size = 0
+
+    def __len__(self) -> int:
+        return self.size
+
+    # ------------------------------------------------------------------ #
+    # Mutation (write-lock holders only)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _cow_insert(perm: _DeltaPerm, outer: int, inner: int, value: int) -> None:
+        row = perm.get(outer)
+        new_row = dict(row) if row else {}
+        new_row[inner] = (new_row.get(inner) or _EMPTY_SET) | {value}
+        perm[outer] = new_row
+
+    @staticmethod
+    def _cow_discard(perm: _DeltaPerm, outer: int, inner: int, value: int) -> None:
+        row = perm.get(outer)
+        if row is None:
+            return
+        values = row.get(inner)
+        if values is None or value not in values:
+            return
+        new_row = dict(row)
+        remaining = values - {value}
+        if remaining:
+            new_row[inner] = remaining
+        else:
+            del new_row[inner]
+        if new_row:
+            perm[outer] = new_row
+        else:
+            del perm[outer]
+
+    def insert(self, s: int, p: int, o: int) -> None:
+        self._cow_insert(self._spo, s, p, o)
+        self._cow_insert(self._pos, p, o, s)
+        self._cow_insert(self._osp, o, s, p)
+        self.size += 1
+
+    def discard(self, s: int, p: int, o: int) -> None:
+        self._cow_discard(self._spo, s, p, o)
+        self._cow_discard(self._pos, p, o, s)
+        self._cow_discard(self._osp, o, s, p)
+        self.size -= 1
+
+    # ------------------------------------------------------------------ #
+    # Reads (lock-free)
+    # ------------------------------------------------------------------ #
+
+    def contains(self, s: int, p: int, o: int) -> bool:
+        row = self._spo.get(s)
+        return row is not None and o in (row.get(p) or _EMPTY_SET)
+
+    def pair_spo(self, s: int, p: int) -> frozenset[int]:
+        row = self._spo.get(s)
+        return (row.get(p) or _EMPTY_SET) if row is not None else _EMPTY_SET
+
+    def pair_pos(self, p: int, o: int) -> frozenset[int]:
+        row = self._pos.get(p)
+        return (row.get(o) or _EMPTY_SET) if row is not None else _EMPTY_SET
+
+    def pair_osp(self, o: int, s: int) -> frozenset[int]:
+        row = self._osp.get(o)
+        return (row.get(s) or _EMPTY_SET) if row is not None else _EMPTY_SET
+
+    def out_row(self, s: int) -> dict[int, frozenset[int]] | None:
+        return self._spo.get(s)
+
+    def pos_row(self, p: int) -> dict[int, frozenset[int]] | None:
+        return self._pos.get(p)
+
+    def in_row(self, o: int) -> dict[int, frozenset[int]] | None:
+        return self._osp.get(o)
+
+    def spo_keys(self) -> set[int]:
+        return set(self._spo)
+
+    def pos_keys(self) -> set[int]:
+        return set(self._pos)
+
+    def osp_keys(self) -> set[int]:
+        return set(self._osp)
+
+    def triples(
+        self, s: int | None = None, p: int | None = None, o: int | None = None
+    ) -> Iterator[IdTriple]:
+        """Matching delta triples, same index dispatch as ``DictBackend``."""
+        if not self.size:
+            return
+        if s is not None:
+            if p is not None:
+                objects = self.pair_spo(s, p)
+                if o is not None:
+                    if o in objects:
+                        yield (s, p, o)
+                else:
+                    for oid in objects:
+                        yield (s, p, oid)
+            elif o is not None:
+                for pid in self.pair_osp(o, s):
+                    yield (s, pid, o)
+            else:
+                row = self._spo.get(s)
+                if row:
+                    for pid, objects in row.items():
+                        for oid in objects:
+                            yield (s, pid, oid)
+        elif p is not None:
+            if o is not None:
+                for sid in self.pair_pos(p, o):
+                    yield (sid, p, o)
+            else:
+                row = self._pos.get(p)
+                if row:
+                    for oid, subjects in row.items():
+                        for sid in subjects:
+                            yield (sid, p, oid)
+        elif o is not None:
+            row = self._osp.get(o)
+            if row:
+                for sid, preds in row.items():
+                    for pid in preds:
+                        yield (sid, pid, o)
+        else:
+            for sid in list(self._spo):
+                row = self._spo.get(sid)
+                if row:
+                    for pid, objects in row.items():
+                        for oid in objects:
+                            yield (sid, pid, oid)
+
+    def count(
+        self, s: int | None = None, p: int | None = None, o: int | None = None
+    ) -> int:
+        if not self.size:
+            return 0
+        if s is None and p is None and o is None:
+            return self.size
+        if s is not None and p is not None and o is not None:
+            return 1 if self.contains(s, p, o) else 0
+        if s is not None and p is not None:
+            return len(self.pair_spo(s, p))
+        if p is not None and o is not None:
+            return len(self.pair_pos(p, o))
+        if s is not None and o is not None:
+            return len(self.pair_osp(o, s))
+        if s is not None:
+            row = self._spo.get(s)
+        elif p is not None:
+            row = self._pos.get(p)
+        else:
+            assert o is not None
+            row = self._osp.get(o)
+        if not row:
+            return 0
+        return sum(len(values) for values in row.values())
+
+
+@guarded_by("_write_lock", "_touched")
+class OverlayBackend:
+    """A writable merged view over a frozen base backend.
+
+    The captured ``base`` must be frozen (``writable`` False) and must
+    never be mutated for the overlay's lifetime — the ``frozen-store``
+    lint rule enforces the static side of that contract.  See the module
+    docstring for merge and concurrency semantics.
+    """
+
+    __slots__ = ("_base", "_adds", "_tombs", "_version", "_touched", "_write_lock")
+
+    def __init__(self, base: StoreBackend):
+        if base.writable:
+            raise ValueError(
+                "OverlayBackend requires a frozen base (CompactBackend or "
+                "ShardedBackend); compact the store first"
+            )
+        self._base = base
+        self._adds = _DeltaIndex()
+        self._tombs = _DeltaIndex()
+        self._version = base.version
+        self._touched: dict[int, int] = {}
+        self._write_lock = threading.Lock()
+
+    def reset_after_fork(self) -> None:
+        """Replace the write lock after ``os.fork`` (see fork-safety rule)."""
+        self._write_lock = threading.Lock()
+
+    @property
+    def base(self) -> StoreBackend:
+        """The frozen base this overlay reads through (never mutate it)."""
+        return self._base
+
+    @property
+    def writable(self) -> bool:
+        return True
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def __len__(self) -> int:
+        return len(self._base) - self._tombs.size + self._adds.size
+
+    def delta_statistics(self) -> dict[str, int]:
+        """Sizes of the overlay's moving parts (serve-layer stats)."""
+        return {
+            "base_triples": len(self._base),
+            "delta_adds": self._adds.size,
+            "tombstones": self._tombs.size,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def _apply_add(self, s: int, p: int, o: int) -> bool:
+        if self._tombs.contains(s, p, o):
+            self._tombs.discard(s, p, o)
+            return True
+        if self._adds.contains(s, p, o) or self._base.contains(s, p, o):
+            return False
+        self._adds.insert(s, p, o)
+        return True
+
+    def _apply_remove(self, s: int, p: int, o: int) -> bool:
+        if self._adds.contains(s, p, o):
+            self._adds.discard(s, p, o)
+            return True
+        if self._base.contains(s, p, o) and not self._tombs.contains(s, p, o):
+            self._tombs.insert(s, p, o)
+            return True
+        return False
+
+    def add(self, s: int, p: int, o: int) -> bool:
+        with self._write_lock:
+            if not self._apply_add(s, p, o):
+                return False
+            self._version += 1
+            self._touched[s] = self._touched[o] = self._version
+            return True
+
+    def add_all_ids(self, triples: Iterable[IdTriple]) -> int:
+        """Bulk insert under one lock acquisition.
+
+        The version counter still advances once per *new* triple — batch
+        ingestion must not collapse distinct store states into one
+        version, or a cache keyed mid-batch could alias the final state.
+        """
+        added = 0
+        with self._write_lock:
+            for s, p, o in triples:
+                if self._apply_add(s, p, o):
+                    self._version += 1
+                    self._touched[s] = self._touched[o] = self._version
+                    added += 1
+        return added
+
+    def remove(self, s: int, p: int, o: int) -> bool:
+        with self._write_lock:
+            if not self._apply_remove(s, p, o):
+                return False
+            self._version += 1
+            self._touched[s] = self._touched[o] = self._version
+            return True
+
+    def touched_since(self, version: int) -> set[int]:
+        """Nodes (subjects/objects) touched by mutations after ``version``.
+
+        The incremental kernel patch rebuilds exactly these rows; callers
+        must quiesce writers (the engine's ingest path serializes) so the
+        rebuilt rows and the reported version describe one store state.
+        """
+        with self._write_lock:
+            return {
+                node
+                for node, touched in self._touched.items()
+                if touched > version
+            }
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+
+    def contains(self, s: int, p: int, o: int) -> bool:
+        if self._adds.contains(s, p, o):
+            return True
+        return self._base.contains(s, p, o) and not self._tombs.contains(s, p, o)
+
+    def triples_ids(
+        self, s: int | None = None, p: int | None = None, o: int | None = None
+    ) -> Iterator[IdTriple]:
+        tombs = self._tombs
+        if tombs.size:
+            contains = tombs.contains
+            for triple in self._base.triples_ids(s, p, o):
+                if not contains(*triple):
+                    yield triple
+        else:
+            yield from self._base.triples_ids(s, p, o)
+        yield from self._adds.triples(s, p, o)
+
+    def count(
+        self, s: int | None = None, p: int | None = None, o: int | None = None
+    ) -> int:
+        if s is not None and p is not None and o is not None:
+            return 1 if self.contains(s, p, o) else 0
+        return (
+            self._base.count(s, p, o)
+            - self._tombs.count(s, p, o)
+            + self._adds.count(s, p, o)
+        )
+
+    def objects_ids(self, s: int, p: int) -> AbstractSet[int]:
+        added = self._adds.pair_spo(s, p)
+        dead = self._tombs.pair_spo(s, p)
+        base = self._base.objects_ids(s, p)
+        if not added and not dead:
+            return base
+        merged = frozenset(base)
+        if dead:
+            merged = merged - dead
+        if added:
+            merged = merged | added
+        return merged
+
+    def subjects_ids(self, p: int, o: int) -> AbstractSet[int]:
+        added = self._adds.pair_pos(p, o)
+        dead = self._tombs.pair_pos(p, o)
+        base = self._base.subjects_ids(p, o)
+        if not added and not dead:
+            return base
+        merged = frozenset(base)
+        if dead:
+            merged = merged - dead
+        if added:
+            merged = merged | added
+        return merged
+
+    @staticmethod
+    def _merge_row(
+        base_row: Mapping[int, AbstractSet[int]],
+        added: dict[int, frozenset[int]] | None,
+        dead: dict[int, frozenset[int]] | None,
+    ) -> dict[int, AbstractSet[int]]:
+        keys = set(base_row)
+        if added:
+            keys.update(added)
+        merged: dict[int, AbstractSet[int]] = {}
+        for key in keys:
+            values: AbstractSet[int] = base_row.get(key, _EMPTY_SET)
+            if dead:
+                dead_values = dead.get(key)
+                if dead_values:
+                    values = frozenset(values) - dead_values
+            if added:
+                added_values = added.get(key)
+                if added_values:
+                    values = frozenset(values) | added_values
+            if values:
+                merged[key] = values
+        return merged
+
+    def out_index(self, s: int) -> Mapping[int, AbstractSet[int]]:
+        added = self._adds.out_row(s)
+        dead = self._tombs.out_row(s)
+        base_row = self._base.out_index(s)
+        if added is None and dead is None:
+            return base_row
+        return self._merge_row(base_row, added, dead)
+
+    def in_index(self, o: int) -> Mapping[int, AbstractSet[int]]:
+        added = self._adds.in_row(o)
+        dead = self._tombs.in_row(o)
+        base_row = self._base.in_index(o)
+        if added is None and dead is None:
+            return base_row
+        return self._merge_row(base_row, added, dead)
+
+    def objects_of_predicate(self, p: int) -> Iterator[int]:
+        added_row = self._adds.pos_row(p) or {}
+        dead_row = self._tombs.pos_row(p)
+        remaining = set(added_row)
+        for oid in self._base.objects_of_predicate(p):
+            remaining.discard(oid)
+            if dead_row:
+                dead = dead_row.get(oid)
+                if dead:
+                    live = self._base.count(None, p, oid) - len(dead)
+                    if live <= 0 and not added_row.get(oid):
+                        continue
+            yield oid
+        yield from sorted(remaining)
+
+    def iter_out_rows(self) -> Iterator[tuple[int, Mapping[int, AbstractSet[int]]]]:
+        touched = self._adds.spo_keys() | self._tombs.spo_keys()
+        remaining = self._adds.spo_keys()
+        for sid, row in self._base.iter_out_rows():
+            if sid in touched:
+                remaining.discard(sid)
+                merged = self.out_index(sid)
+                if merged:
+                    yield sid, merged
+            else:
+                yield sid, row
+        for sid in sorted(remaining):
+            merged = self.out_index(sid)
+            if merged:
+                yield sid, merged
+
+    # ------------------------------------------------------------------ #
+    # Vocabulary
+    # ------------------------------------------------------------------ #
+
+    def _live_outer(
+        self,
+        base_ids: Iterator[int],
+        added_keys: set[int],
+        tomb_row_of: Callable[[int], dict[int, frozenset[int]] | None],
+        position: str,
+    ) -> Iterator[int]:
+        """Base vocabulary ids that still have live triples, then add-only ids.
+
+        A base id disappears only when tombstones cover *every* base
+        triple in its row, which the merged count settles exactly.
+        """
+        remaining = added_keys
+        for term_id in base_ids:
+            remaining.discard(term_id)
+            if tomb_row_of(term_id) is not None:
+                if position == "s":
+                    live = self.count(s=term_id)
+                elif position == "p":
+                    live = self.count(p=term_id)
+                else:
+                    live = self.count(o=term_id)
+                if live == 0:
+                    continue
+            yield term_id
+        yield from sorted(remaining)
+
+    def subject_ids(self) -> Iterator[int]:
+        return self._live_outer(
+            self._base.subject_ids(), self._adds.spo_keys(),
+            self._tombs.out_row, "s",
+        )
+
+    def predicate_ids(self) -> Iterator[int]:
+        return self._live_outer(
+            self._base.predicate_ids(), self._adds.pos_keys(),
+            self._tombs.pos_row, "p",
+        )
+
+    def object_ids(self) -> Iterator[int]:
+        return self._live_outer(
+            self._base.object_ids(), self._adds.osp_keys(),
+            self._tombs.in_row, "o",
+        )

@@ -337,6 +337,12 @@ class ShardedBackend:
             "re-shard (TripleStore.sharded) or recompile the snapshot"
         )
 
+    def add_all_ids(self, triples: "Iterable[IdTriple]") -> int:
+        raise StoreFrozenError(
+            "ShardedBackend is read-only; mutate a DictBackend store and "
+            "re-shard (TripleStore.sharded) or recompile the snapshot"
+        )
+
     def remove(self, s: int, p: int, o: int) -> bool:
         raise StoreFrozenError(
             "ShardedBackend is read-only; mutate a DictBackend store and "

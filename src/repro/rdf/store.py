@@ -29,6 +29,7 @@ from typing import AbstractSet, Iterable, Iterator, Mapping
 from repro.exceptions import StoreFrozenError
 from repro.rdf.backend import CompactBackend, DictBackend, StoreBackend
 from repro.rdf.dictionary import TermDictionary
+from repro.rdf.overlay import OverlayBackend
 from repro.rdf.shard import ShardedBackend
 from repro.rdf.terms import IRI, Literal, Term, Triple
 
@@ -122,6 +123,45 @@ class TripleStore:
             literal_ids=self._literal_ids,
         )
 
+    def overlay(self) -> "TripleStore":
+        """A writable overlay store over this store's frozen backend.
+
+        The base must already be frozen (``compacted()``, ``sharded()``,
+        or snapshot-loaded); the overlay captures it read-only and layers
+        a mutable delta plus tombstones on top — see
+        :class:`~repro.rdf.overlay.OverlayBackend`.  Dictionary shared,
+        version carried forward, literal bookkeeping copied.
+        """
+        return TripleStore(
+            backend=OverlayBackend(self._backend),
+            dictionary=self.dictionary,
+            literal_ids=self._literal_ids,
+        )
+
+    def swap_backend(self, backend: StoreBackend) -> None:
+        """Atomically replace the physical index with an equivalent one.
+
+        This is the in-process compaction swap: the caller compacts
+        base+delta into a fresh frozen backend (optionally a new overlay
+        over it) holding *identical* content at the *same* version, then
+        swaps it in under live readers.  In-flight iterators keep the old
+        backend alive until they finish (its mmap is released when the
+        last reference drains); new reads bind the new backend.  Length
+        and version must match — content equivalence is the caller's
+        contract, these two are the cheap guards on it.
+        """
+        if len(backend) != len(self._backend):
+            raise ValueError(
+                f"swap_backend size mismatch: {len(backend)} != "
+                f"{len(self._backend)} triples"
+            )
+        if backend.version < self._backend.version:
+            raise ValueError(
+                f"swap_backend would rewind version "
+                f"{self._backend.version} -> {backend.version}"
+            )
+        self._backend = backend
+
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
@@ -138,8 +178,24 @@ class TripleStore:
         return self._backend.add(s, p, o)
 
     def add_all(self, triples: Iterable[Triple]) -> int:
-        """Insert many triples; returns the number that were new."""
-        return sum(1 for triple in triples if self.add(triple))
+        """Insert many triples; returns the number that were new.
+
+        Bulk fast path: terms are encoded and literals booked in one pass
+        here, then the id triples go to the backend's ``add_all_ids``
+        (one lock acquisition on an overlay, still one version bump per
+        new triple).
+        """
+        if not self._backend.writable:
+            raise StoreFrozenError("cannot add to a frozen store")
+        encode = self.dictionary.encode
+        literal_ids = self._literal_ids
+        encoded: list[_IdTriple] = []
+        for triple in triples:
+            o = encode(triple.object)
+            if isinstance(triple.object, Literal):
+                literal_ids.add(o)
+            encoded.append((encode(triple.subject), encode(triple.predicate), o))
+        return self._backend.add_all_ids(encoded)
 
     def remove(self, triple: Triple) -> bool:
         """Delete a triple.  Returns True if it was present."""

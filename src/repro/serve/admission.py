@@ -50,12 +50,17 @@ class AdmissionController:
         capacity: int,
         metrics: MetricsLike | None = None,
         clock: Callable[[], float] = time.monotonic,
+        prefix: str = "serve",
     ):
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         self.capacity = capacity
         self.metrics = metrics if metrics is not None else NoopMetrics()
         self.clock = clock
+        #: Metric-name prefix: the read path uses the default ``serve``,
+        #: the ingest path uses ``serve.ingest`` so write backpressure is
+        #: visible separately from question-answering backpressure.
+        self.prefix = prefix
         self._lock = threading.Lock()
         self._in_flight = 0
         self._admitted = 0
@@ -69,13 +74,13 @@ class AdmissionController:
         with self._lock:
             if self._in_flight >= self.capacity:
                 self._rejected += 1
-                self.metrics.incr("serve.rejected")
+                self.metrics.incr(f"{self.prefix}.rejected")
                 raise AdmissionRejected(self.capacity, self._in_flight)
             self._in_flight += 1
             self._admitted += 1
             self._peak = max(self._peak, self._in_flight)
             depth = self._in_flight
-        self.metrics.observe("serve.queue_depth", depth)
+        self.metrics.observe(f"{self.prefix}.queue_depth", depth)
         return _AdmissionToken(self)
 
     def _release(self) -> None:
@@ -122,7 +127,7 @@ class _AdmissionToken:
             self._released = True
             controller = self._controller
             controller.metrics.observe(
-                "serve.in_flight_ms",
+                f"{controller.prefix}.in_flight_ms",
                 (controller.clock() - self._admitted_at) * 1000.0,
             )
             controller._release()

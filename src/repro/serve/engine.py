@@ -41,7 +41,10 @@ from repro.exceptions import EngineClosedError
 from repro.linking.linker import EntityLinker
 from repro.obs.metrics import Metrics
 from repro.paraphrase.dictionary import ParaphraseDictionary
+from repro.rdf.backend import CompactBackend
 from repro.rdf.graph import KnowledgeGraph
+from repro.rdf.overlay import OverlayBackend
+from repro.rdf.terms import Triple
 from repro.serve.admission import AdmissionController, AdmissionRejected
 from repro.serve.cache import CachingLinker, TTLCache, answer_cache_key
 
@@ -64,6 +67,7 @@ class EngineConfig:
     degraded_k: int = 3               # top-k under degradation
     degraded_candidate_limit: int = 3  # candidate-list width under degradation
     enable_aggregation: bool = False  # superlative post-processing extension
+    ingest_capacity: int = 2          # ingest batches in flight (excess → 429)
 
     def __post_init__(self) -> None:
         if self.pool_size < 1:
@@ -74,6 +78,8 @@ class EngineConfig:
             raise ValueError("degrade_pressure must be in [0, 1]")
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError("deadline_s must be positive when set")
+        if self.ingest_capacity < 1:
+            raise ValueError("ingest_capacity must be at least 1")
 
     def fingerprint(self) -> str:
         """Stable digest of every knob that changes *answers* (cache key part)."""
@@ -156,6 +162,11 @@ class QAEngine:
             capacity=self.config.pool_size + self.config.queue_limit,
             metrics=self.metrics,
         )
+        self.write_admission = AdmissionController(
+            capacity=self.config.ingest_capacity,
+            metrics=self.metrics,
+            prefix="serve.ingest",
+        )
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.pool_size, thread_name_prefix="qa-engine"
         )
@@ -165,6 +176,7 @@ class QAEngine:
         self._closed = False
         self._warm_lock = threading.Lock()
         self._state_lock = threading.Lock()
+        self._ingest_lock = threading.Lock()
 
     @classmethod
     def from_snapshot(
@@ -283,10 +295,16 @@ class QAEngine:
             capacity=self.config.pool_size + self.config.queue_limit,
             metrics=self.metrics,
         )
+        self.write_admission = AdmissionController(
+            capacity=self.config.ingest_capacity,
+            metrics=self.metrics,
+            prefix="serve.ingest",
+        )
         self.answer_cache.reset_after_fork()
         self.link_cache.reset_after_fork()
         self._warm_lock = threading.Lock()
         self._state_lock = threading.Lock()
+        self._ingest_lock = threading.Lock()
         self._trace_ids = itertools.count(1)
         self._started_at = time.monotonic()
         self._ready = False
@@ -381,6 +399,116 @@ class QAEngine:
         return ServedSystem(self)
 
     # ------------------------------------------------------------------ #
+    # Live ingest
+    # ------------------------------------------------------------------ #
+
+    def _ensure_writable(self) -> None:
+        """Wrap a frozen store in a writable overlay, once, in place.
+
+        Caller holds ``_ingest_lock``.  The swap keeps length and version
+        (the overlay starts with an empty delta), so readers and the
+        kernel are unaffected; only the facade's backend pointer changes.
+        """
+        store = self.kg.store
+        if not store.writable:
+            store.swap_backend(OverlayBackend(store.backend))
+
+    def ingest(
+        self,
+        adds: list[Triple],
+        removes: list[Triple] | None = None,
+        tracer: "obs.Tracer | None" = None,
+    ) -> dict:
+        """Apply one batch of triple adds/removes to the live store.
+
+        Writers serialize on the ingest lock; at most
+        ``config.ingest_capacity`` batches may be in flight (running or
+        waiting on the lock) before :class:`AdmissionRejected` — writes
+        get their own admission budget so a write burst turns into 429s
+        instead of starving question answering.
+
+        After the batch lands the graph is refreshed with *incremental*
+        kernel patching: only adjacency rows of touched nodes are
+        rebuilt, the rest are reused by reference.  Readers never block —
+        the overlay publishes rows copy-on-write and the version bump per
+        mutation invalidates answer-cache entries by construction.
+        """
+        removes = removes if removes is not None else []
+        span = tracer.span if tracer is not None else obs.NOOP.span
+        with self.write_admission.admit():
+            with self._ingest_lock:
+                with self.metrics_span("serve.ingest"):
+                    self._ensure_writable()
+                    store = self.kg.store
+                    with span("ingest.apply", adds=len(adds), removes=len(removes)):
+                        removed = sum(1 for triple in removes if store.remove(triple))
+                        added = store.add_all(adds)
+                    if added or removed:
+                        with span("ingest.refresh"):
+                            self.kg.refresh(incremental=True)
+        self.metrics.incr("serve.ingest.requests")
+        self.metrics.incr("serve.ingest.added_triples", added)
+        self.metrics.incr("serve.ingest.removed_triples", removed)
+        backend = self.kg.store.backend
+        delta = getattr(backend, "delta_statistics", None)
+        return {
+            "added": added,
+            "removed": removed,
+            "store_version": self.store_version,
+            "triples": len(self.kg.store),
+            "delta": delta() if delta is not None else None,
+        }
+
+    def compact(
+        self,
+        shards: int | None = None,
+        snapshot_path: str | None = None,
+    ) -> dict:
+        """Re-compact base + delta into a fresh frozen base and swap it in.
+
+        Runs under the ingest lock (writers pause; readers keep going
+        against the old backend) and swaps atomically: the new backend is
+        a fresh overlay with an empty delta over a rebuilt frozen base
+        holding identical content at the same version, so the kernel and
+        every version-keyed cache stay valid with no refresh.  In-flight
+        iterators drain against the old backend, whose mmap (if any) is
+        released when the last reference drops.
+
+        ``shards=K`` rebuilds into a sharded base; ``snapshot_path``
+        additionally persists a compiled snapshot of the compacted state
+        (single-file, or sharded when ``shards`` is set).
+        """
+        with self._ingest_lock:
+            with self.metrics_span("serve.compact"):
+                store = self.kg.store
+                old = store.backend
+                version = old.version
+                if shards is not None and shards > 1:
+                    from repro.rdf.shard import ShardedBackend
+
+                    frozen = ShardedBackend.from_triples(
+                        old.triples_ids(), shards=shards, version=version
+                    )
+                else:
+                    frozen = CompactBackend.from_triples(
+                        old.triples_ids(), version=version
+                    )
+                store.swap_backend(OverlayBackend(frozen))
+                if snapshot_path is not None:
+                    from repro.rdf.snapshot import compile_snapshot
+
+                    compile_snapshot(
+                        snapshot_path, self.kg, self.dictionary, shards=shards
+                    )
+        self.metrics.incr("serve.compactions")
+        return {
+            "triples": len(self.kg.store),
+            "store_version": self.store_version,
+            "shards": shards,
+            "snapshot": snapshot_path,
+        }
+
+    # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
 
@@ -471,6 +599,11 @@ class QAEngine:
         """The ``GET /stats`` body: caches, admission, kernel, store."""
         backend = self.kg.store.backend
         store_stats: dict = {"backend": type(backend).__name__}
+        delta = getattr(backend, "delta_statistics", None)
+        if delta is not None:
+            # Overlay store: base/delta/tombstone sizes tell operators
+            # when an online compaction is worth triggering.
+            store_stats["overlay"] = delta()
         shards = getattr(backend, "shards", None)
         if shards is not None:
             # Sharded store: report residency so operators can see lazy

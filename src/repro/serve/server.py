@@ -13,15 +13,31 @@ Routes::
                     "no_cache"?: bool}
     POST /batch    {"questions": [str, ...], "deadline_s"?: float,
                     "no_cache"?: bool}
+    POST /ingest   {"add"?: [[s, p, o], ...], "remove"?: [[s, p, o], ...]}
+                   (authenticated; see below) — apply one triple batch to
+                   the live overlay store and refresh derived state
+    POST /compact  {"shards"?: int, "snapshot_path"?: str}
+                   (authenticated) — re-compact base + delta into a fresh
+                   frozen base and swap it in atomically
     GET  /healthz  liveness/readiness + store version (+ worker pid/index)
     GET  /metrics  the engine's counters and histogram summaries;
                    in a multi-worker deployment, aggregated across workers
     GET  /stats    caches, admission, kernel, config (always this worker)
 
+Wire triples are ``[subject, predicate, object]``; subject and predicate
+are IRI strings, the object is an IRI string or
+``{"literal": str, "language"?: str, "datatype"?: str}``.
+
+The write endpoints are off unless the server was built with an
+``ingest_token``; requests present it as ``X-Ingest-Token: <token>`` or
+``Authorization: Bearer <token>``.  No token configured → 403; wrong
+token → 401 (compared constant-time).
+
 Error mapping: malformed body → 400, missing ``Content-Length`` → 411,
 oversized body → 413, unknown route → 404, admission budget exhausted →
-429 with a ``Retry-After`` hint.  Every response body is JSON, including
-errors (``{"error": ...}``).
+429 with a ``Retry-After`` hint (reads and writes each have their own
+budget).  Every response body is JSON, including errors
+(``{"error": ...}``).
 
 Two transport-level invariants the handler maintains:
 
@@ -39,6 +55,7 @@ Two transport-level invariants the handler maintains:
 
 from __future__ import annotations
 
+import hmac
 import json
 import os
 import socket
@@ -47,6 +64,7 @@ import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.obs.metrics import merge_snapshots
+from repro.rdf.terms import IRI, Literal, Triple
 from repro.serve.admission import AdmissionRejected
 from repro.serve.engine import QAEngine
 
@@ -80,6 +98,12 @@ class QAServer(ThreadingHTTPServer):
         Sibling admin endpoints ``[{"index": int, "url": str}, ...]``
         (including this worker's own entry); when set, ``GET /metrics``
         aggregates counters and histograms across all of them.
+    ingest_token:
+        Shared secret enabling the write endpoints (``POST /ingest``,
+        ``POST /compact``).  None (the default) keeps them disabled —
+        every write answers 403.  Single-worker only: in a pre-fork
+        deployment each worker holds its own copy of the store, so a
+        write applied to one would silently diverge the others.
     """
 
     daemon_threads = True
@@ -97,6 +121,7 @@ class QAServer(ThreadingHTTPServer):
         sock: socket.socket | None = None,
         worker: dict | None = None,
         peers: list[dict] | None = None,
+        ingest_token: str | None = None,
     ):
         if sock is None:
             super().__init__(address, _Handler)
@@ -115,6 +140,7 @@ class QAServer(ThreadingHTTPServer):
         self.engine = engine
         self.worker = worker
         self.peers = peers
+        self.ingest_token = ingest_token
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -151,15 +177,21 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         engine: QAEngine = self.server.engine
-        if self.path not in ("/ask", "/batch"):
+        if self.path not in ("/ask", "/batch", "/ingest", "/compact"):
             self._send_json(404, {"error": f"no such route: {self.path}"})
             return
+        if self.path in ("/ingest", "/compact") and not self._authorize_write():
+            return  # _authorize_write already answered 401/403
         payload = self._read_json()
         if payload is None:
             return  # _read_json already answered
         try:
             if self.path == "/ask":
                 self._handle_ask(engine, payload)
+            elif self.path == "/ingest":
+                self._handle_ingest(engine, payload)
+            elif self.path == "/compact":
+                self._handle_compact(engine, payload)
             else:
                 self._handle_batch(engine, payload)
         except AdmissionRejected as rejected:
@@ -220,6 +252,67 @@ class _Handler(BaseHTTPRequestHandler):
             use_cache=not bool(payload.get("no_cache", False)),
         )
         self._send_json(200, {"responses": responses})
+
+    # ------------------------------------------------------------------ #
+    # Live ingest
+    # ------------------------------------------------------------------ #
+
+    def _authorize_write(self) -> bool:
+        """Token-gate the write endpoints; False after answering 401/403.
+
+        Runs *before* the body is read, so rejections close the
+        connection (the same keep-alive reasoning as 411/413: leaving the
+        unread body on the socket would poison the next request).
+        """
+        token = self.server.ingest_token
+        if token is None:
+            self._send_json(
+                403,
+                {"error": "ingest is disabled (server started without a token)"},
+                close=True,
+            )
+            return False
+        provided = self.headers.get("X-Ingest-Token")
+        if provided is None:
+            auth = self.headers.get("Authorization", "")
+            if auth.startswith("Bearer "):
+                provided = auth[len("Bearer "):]
+        if provided is None or not hmac.compare_digest(provided, token):
+            self.server.engine.metrics.incr("serve.ingest.unauthorized")
+            self._send_json(401, {"error": "bad or missing ingest token"}, close=True)
+            return False
+        return True
+
+    def _handle_ingest(self, engine: QAEngine, payload: dict) -> None:
+        adds = _parse_wire_triples(payload.get("add", []))
+        if isinstance(adds, str):
+            self._send_json(400, {"error": f"'add': {adds}"})
+            return
+        removes = _parse_wire_triples(payload.get("remove", []))
+        if isinstance(removes, str):
+            self._send_json(400, {"error": f"'remove': {removes}"})
+            return
+        if not adds and not removes:
+            self._send_json(
+                400, {"error": "batch is empty ('add' and/or 'remove' required)"}
+            )
+            return
+        self._send_json(200, engine.ingest(adds, removes))
+
+    def _handle_compact(self, engine: QAEngine, payload: dict) -> None:
+        shards = payload.get("shards")
+        if shards is not None and (
+            isinstance(shards, bool) or not isinstance(shards, int) or shards < 1
+        ):
+            self._send_json(400, {"error": "'shards' must be a positive integer"})
+            return
+        snapshot_path = payload.get("snapshot_path")
+        if snapshot_path is not None and not isinstance(snapshot_path, str):
+            self._send_json(400, {"error": "'snapshot_path' must be a string"})
+            return
+        self._send_json(
+            200, engine.compact(shards=shards, snapshot_path=snapshot_path)
+        )
 
     # ------------------------------------------------------------------ #
     # Cluster introspection
@@ -349,6 +442,49 @@ class _Handler(BaseHTTPRequestHandler):
 _INVALID = object()
 
 
+def _parse_wire_triples(items) -> "list[Triple] | str":
+    """Decode wire-format triples; returns an error string on bad input.
+
+    Each item is ``[s, p, o]`` — subject/predicate IRI strings, object an
+    IRI string or ``{"literal": ..., "language"?: ..., "datatype"?: ...}``.
+    """
+    if not isinstance(items, list):
+        return "must be a list of [s, p, o] triples"
+    triples: list[Triple] = []
+    for position, item in enumerate(items):
+        if not isinstance(item, list) or len(item) != 3:
+            return f"item {position} is not an [s, p, o] triple"
+        s, p, o = item
+        if not isinstance(s, str) or not s:
+            return f"item {position}: subject must be an IRI string"
+        if not isinstance(p, str) or not p:
+            return f"item {position}: predicate must be an IRI string"
+        obj: IRI | Literal
+        if isinstance(o, str) and o:
+            obj = IRI(o)
+        elif isinstance(o, dict) and isinstance(o.get("literal"), str):
+            language = o.get("language")
+            datatype = o.get("datatype")
+            if language is not None and not isinstance(language, str):
+                return f"item {position}: 'language' must be a string"
+            if datatype is not None and not isinstance(datatype, str):
+                return f"item {position}: 'datatype' must be an IRI string"
+            if language is not None and datatype is not None:
+                return f"item {position}: literal cannot have both language and datatype"
+            obj = Literal(
+                o["literal"],
+                datatype=IRI(datatype) if datatype is not None else None,
+                language=language,
+            )
+        else:
+            return (
+                f"item {position}: object must be an IRI string or "
+                "{'literal': ...}"
+            )
+        triples.append(Triple(IRI(s), IRI(p), obj))
+    return triples
+
+
 def _optional_number(payload: dict, key: str):
     """The positive float at ``key``, None when absent, _INVALID when bad."""
     value = payload.get(key)
@@ -359,8 +495,14 @@ def _optional_number(payload: dict, key: str):
     return float(value)
 
 
-def build_server(engine: QAEngine, host: str = "127.0.0.1", port: int = 8765) -> QAServer:
+def build_server(
+    engine: QAEngine,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    ingest_token: str | None = None,
+) -> QAServer:
     """A bound (not yet serving) server; ``port=0`` picks an ephemeral port
     (read it back from ``server.server_address[1]`` — tests rely on this).
+    ``ingest_token`` enables the authenticated write endpoints.
     """
-    return QAServer((host, port), engine)
+    return QAServer((host, port), engine, ingest_token=ingest_token)

@@ -321,6 +321,63 @@ class TestFrozenStore:
         assert len(findings) == 1
         assert ".add()" in findings[0].message
 
+    def test_fires_on_overlay_receiver_mutation(self, lint_source):
+        # Calling .overlay() certifies the receiver frozen; mutating it
+        # afterwards would silently desynchronize the overlay's merge.
+        findings = lint_source(
+            """
+            def build(store, triple):
+                base = store.compacted()
+                live = base.overlay()
+                base.add(triple)
+                return live
+            """,
+            rule=self.RULE,
+        )
+        assert len(findings) == 1
+        assert "frozen" in findings[0].message
+
+    def test_fires_on_overlay_backend_captured_base(self, lint_source):
+        findings = lint_source(
+            """
+            from repro.rdf.overlay import OverlayBackend
+
+            def build(backend, triple):
+                overlay = OverlayBackend(backend)
+                backend.add_all_ids([triple])
+                return overlay
+            """,
+            rule=self.RULE,
+        )
+        assert len(findings) == 1
+        assert ".add_all_ids()" in findings[0].message
+
+    def test_quiet_on_mutating_the_overlay_itself(self, lint_source):
+        # The overlay is the writable side — only its base is frozen.
+        findings = lint_source(
+            """
+            from repro.rdf.overlay import OverlayBackend
+
+            def build(backend, triple):
+                overlay = OverlayBackend(backend)
+                overlay.add_all_ids([triple])
+                return overlay
+            """,
+            rule=self.RULE,
+        )
+        assert findings == []
+
+    def test_fires_on_add_all_ids_to_compacted(self, lint_source):
+        findings = lint_source(
+            """
+            def build(store, triples):
+                frozen = store.compacted()
+                frozen.add_all_ids(triples)
+            """,
+            rule=self.RULE,
+        )
+        assert len(findings) == 1
+
     def test_fires_on_sharded_backend_constructor(self, lint_source):
         findings = lint_source(
             """
